@@ -1,0 +1,156 @@
+//! The two greedy relaxations of the multiple-knapsack problem.
+//!
+//! Both run in `O(n log n)` (the sort dominates), which is the "linear
+//! computational cost" property the paper relies on to scale to hundreds of
+//! objects and multi-gigabyte memory levels.
+
+use hmsim_analysis::ObjectStats;
+use hmsim_common::ByteSize;
+
+/// Rank candidate indices by descending LLC-miss count, dropping objects that
+/// contribute less than `threshold_percent` of `total_misses`.
+pub fn rank_by_misses(
+    objects: &[&ObjectStats],
+    total_misses: u64,
+    threshold_percent: f64,
+) -> Vec<usize> {
+    let threshold = (threshold_percent.max(0.0) / 100.0) * total_misses as f64;
+    let mut order: Vec<usize> = (0..objects.len())
+        .filter(|i| {
+            let misses = objects[*i].llc_misses as f64;
+            misses > 0.0 && misses >= threshold
+        })
+        .collect();
+    order.sort_by(|a, b| {
+        objects[*b]
+            .llc_misses
+            .cmp(&objects[*a].llc_misses)
+            .then_with(|| objects[*a].max_size.cmp(&objects[*b].max_size))
+            .then_with(|| objects[*a].name.cmp(&objects[*b].name))
+    });
+    order
+}
+
+/// Rank candidate indices by descending miss density (misses per byte).
+pub fn rank_by_density(objects: &[&ObjectStats]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..objects.len())
+        .filter(|i| objects[*i].llc_misses > 0)
+        .collect();
+    order.sort_by(|a, b| {
+        objects[*b]
+            .density()
+            .partial_cmp(&objects[*a].density())
+            .expect("density is never NaN")
+            .then_with(|| objects[*b].llc_misses.cmp(&objects[*a].llc_misses))
+            .then_with(|| objects[*a].name.cmp(&objects[*b].name))
+    });
+    order
+}
+
+/// Greedily pack ranked objects into a knapsack of `capacity` (page-granular
+/// accounting). Returns the indices packed and the bytes consumed
+/// (page-aligned).
+pub fn pack(
+    objects: &[&ObjectStats],
+    ranked: &[usize],
+    capacity: Option<ByteSize>,
+) -> (Vec<usize>, ByteSize) {
+    let mut used = ByteSize::ZERO;
+    let mut selected = Vec::new();
+    for &idx in ranked {
+        let need = objects[idx].max_size.page_aligned();
+        let fits = match capacity {
+            Some(cap) => used + need <= cap,
+            None => true,
+        };
+        if fits {
+            used += need;
+            selected.push(idx);
+        }
+        // Note: like the paper's greedy, we keep scanning after a non-fit so
+        // that smaller objects further down the ranking can still use the
+        // remaining space.
+    }
+    (selected, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_analysis::ReportedKind;
+
+    fn obj(name: &str, misses: u64, mib: u64) -> ObjectStats {
+        ObjectStats {
+            name: name.to_string(),
+            site: None,
+            kind: ReportedKind::Dynamic,
+            max_size: ByteSize::from_mib(mib),
+            min_size: ByteSize::from_mib(mib),
+            llc_misses: misses,
+            samples: misses / 1000,
+            allocation_count: 1,
+        }
+    }
+
+    #[test]
+    fn misses_ranking_orders_and_thresholds() {
+        let objects = vec![
+            obj("small_hot", 500_000, 1),
+            obj("big_hot", 900_000, 100),
+            obj("rare", 5_000, 1),
+            obj("untouched", 0, 50),
+        ];
+        let refs: Vec<&ObjectStats> = objects.iter().collect();
+        let total: u64 = objects.iter().map(|o| o.llc_misses).sum();
+
+        let no_threshold = rank_by_misses(&refs, total, 0.0);
+        assert_eq!(no_threshold, vec![1, 0, 2], "untouched object is never ranked");
+
+        let with_threshold = rank_by_misses(&refs, total, 1.0);
+        assert_eq!(with_threshold, vec![1, 0], "rare object filtered by the 1% threshold");
+    }
+
+    #[test]
+    fn density_ranking_prefers_small_hot_objects() {
+        let objects = vec![obj("big_hot", 900_000, 100), obj("small_hot", 500_000, 1)];
+        let refs: Vec<&ObjectStats> = objects.iter().collect();
+        let ranked = rank_by_density(&refs);
+        assert_eq!(ranked, vec![1, 0]);
+    }
+
+    #[test]
+    fn pack_respects_capacity_and_skips_to_smaller_objects() {
+        let objects = vec![
+            obj("huge", 1_000_000, 200),
+            obj("medium", 900_000, 60),
+            obj("small", 800_000, 30),
+        ];
+        let refs: Vec<&ObjectStats> = objects.iter().collect();
+        let ranked = vec![0, 1, 2];
+        let (selected, used) = pack(&refs, &ranked, Some(ByteSize::from_mib(100)));
+        // "huge" does not fit; "medium" and "small" do.
+        assert_eq!(selected, vec![1, 2]);
+        assert_eq!(used, ByteSize::from_mib(90));
+    }
+
+    #[test]
+    fn pack_without_capacity_takes_everything() {
+        let objects = vec![obj("a", 10, 1), obj("b", 20, 2)];
+        let refs: Vec<&ObjectStats> = objects.iter().collect();
+        let (selected, used) = pack(&refs, &[1, 0], None);
+        assert_eq!(selected, vec![1, 0]);
+        assert_eq!(used, ByteSize::from_mib(3));
+    }
+
+    #[test]
+    fn pack_accounts_pages_not_raw_bytes() {
+        let tiny = ObjectStats {
+            max_size: ByteSize::from_bytes(100),
+            min_size: ByteSize::from_bytes(100),
+            ..obj("tiny", 10, 0)
+        };
+        let refs = vec![&tiny];
+        let (_, used) = pack(&refs, &[0], Some(ByteSize::from_kib(8)));
+        assert_eq!(used, ByteSize::from_kib(4), "rounded up to one page");
+    }
+}

@@ -1,0 +1,236 @@
+//! Memory specification: the tiers the advisor may place objects into.
+//!
+//! "Each memory subsystem is defined by a given size and a relative
+//! performance in a configuration file, ensuring that we can extend this
+//! mechanism in the future for different memory architectures." (paper §III)
+
+use hmsim_common::{ByteSize, HmError, HmResult, TierId};
+
+/// One memory tier as seen by the advisor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TierBudget {
+    /// Tier identity.
+    pub tier: TierId,
+    /// Human-readable name.
+    pub name: String,
+    /// Capacity the advisor may fill; `None` means unbounded (the fallback
+    /// tier).
+    pub capacity: Option<ByteSize>,
+    /// Relative performance (higher = faster = filled first).
+    pub relative_performance: f64,
+}
+
+/// The ordered set of tiers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemorySpec {
+    tiers: Vec<TierBudget>,
+}
+
+impl MemorySpec {
+    /// Build a spec; requires at least one unbounded tier to act as fallback
+    /// and unique tier ids.
+    pub fn new(tiers: Vec<TierBudget>) -> HmResult<MemorySpec> {
+        if tiers.is_empty() {
+            return Err(HmError::Config("memory spec needs at least one tier".into()));
+        }
+        if !tiers.iter().any(|t| t.capacity.is_none()) {
+            return Err(HmError::Config(
+                "memory spec needs an unbounded fallback tier".into(),
+            ));
+        }
+        for (i, a) in tiers.iter().enumerate() {
+            for b in &tiers[i + 1..] {
+                if a.tier == b.tier {
+                    return Err(HmError::Config(format!(
+                        "duplicate tier {:?} in memory spec",
+                        a.tier
+                    )));
+                }
+            }
+        }
+        Ok(MemorySpec { tiers })
+    }
+
+    /// The spec used throughout the paper's evaluation: a per-rank MCDRAM
+    /// budget plus unbounded DDR as fallback.
+    pub fn knl_budget(mcdram_per_rank: ByteSize) -> MemorySpec {
+        MemorySpec::new(vec![
+            TierBudget {
+                tier: TierId::MCDRAM,
+                name: "MCDRAM".to_string(),
+                capacity: Some(mcdram_per_rank),
+                relative_performance: 5.0,
+            },
+            TierBudget {
+                tier: TierId::DDR,
+                name: "DDR".to_string(),
+                capacity: None,
+                relative_performance: 1.0,
+            },
+        ])
+        .expect("knl budget spec is well-formed")
+    }
+
+    /// All tiers in declaration order.
+    pub fn tiers(&self) -> &[TierBudget] {
+        &self.tiers
+    }
+
+    /// Tiers in the order knapsacks are solved: descending relative
+    /// performance.
+    pub fn by_descending_performance(&self) -> Vec<&TierBudget> {
+        let mut v: Vec<&TierBudget> = self.tiers.iter().collect();
+        v.sort_by(|a, b| {
+            b.relative_performance
+                .partial_cmp(&a.relative_performance)
+                .expect("relative_performance must not be NaN")
+        });
+        v
+    }
+
+    /// The unbounded fallback tier (slowest such tier if several).
+    pub fn fallback(&self) -> &TierBudget {
+        self.tiers
+            .iter()
+            .filter(|t| t.capacity.is_none())
+            .min_by(|a, b| {
+                a.relative_performance
+                    .partial_cmp(&b.relative_performance)
+                    .expect("relative_performance must not be NaN")
+            })
+            .expect("constructor guarantees an unbounded tier")
+    }
+
+    /// Parse a simple configuration text: one tier per line,
+    /// `name capacity relative_performance`, capacity `unlimited` for the
+    /// fallback. Lines starting with `#` are comments. Tier ids are assigned
+    /// by conventional names (DDR = 0, MCDRAM = 1) or in file order otherwise.
+    pub fn parse(text: &str) -> HmResult<MemorySpec> {
+        let mut tiers = Vec::new();
+        let mut next_extra_id = 2u32;
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 3 {
+                return Err(HmError::parse_at(
+                    lineno,
+                    format!("expected 'name capacity performance', got {line:?}"),
+                ));
+            }
+            let name = fields[0].to_string();
+            let capacity = if fields[1].eq_ignore_ascii_case("unlimited") {
+                None
+            } else {
+                Some(ByteSize::parse(fields[1]).map_err(|e| HmError::parse_at(lineno, e))?)
+            };
+            let relative_performance: f64 = fields[2]
+                .parse()
+                .map_err(|_| HmError::parse_at(lineno, format!("bad performance {:?}", fields[2])))?;
+            let tier = match name.to_ascii_uppercase().as_str() {
+                "DDR" | "DRAM" => TierId::DDR,
+                "MCDRAM" | "HBM" => TierId::MCDRAM,
+                _ => {
+                    let id = TierId(next_extra_id);
+                    next_extra_id += 1;
+                    id
+                }
+            };
+            tiers.push(TierBudget {
+                tier,
+                name,
+                capacity,
+                relative_performance,
+            });
+        }
+        MemorySpec::new(tiers)
+    }
+
+    /// Render back to the configuration-file format.
+    pub fn to_config_text(&self) -> String {
+        let mut out = String::from("# tier  capacity  relative_performance\n");
+        for t in &self.tiers {
+            let cap = t
+                .capacity
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "unlimited".to_string());
+            out.push_str(&format!("{} {} {}\n", t.name, cap, t.relative_performance));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knl_budget_has_bounded_mcdram_and_unbounded_ddr() {
+        let spec = MemorySpec::knl_budget(ByteSize::from_mib(128));
+        assert_eq!(spec.tiers().len(), 2);
+        let order = spec.by_descending_performance();
+        assert_eq!(order[0].tier, TierId::MCDRAM);
+        assert_eq!(order[0].capacity, Some(ByteSize::from_mib(128)));
+        assert_eq!(spec.fallback().tier, TierId::DDR);
+    }
+
+    #[test]
+    fn spec_requires_fallback_and_unique_tiers() {
+        let no_fallback = MemorySpec::new(vec![TierBudget {
+            tier: TierId::MCDRAM,
+            name: "MCDRAM".into(),
+            capacity: Some(ByteSize::from_gib(16)),
+            relative_performance: 5.0,
+        }]);
+        assert!(no_fallback.is_err());
+
+        let dup = MemorySpec::new(vec![
+            TierBudget {
+                tier: TierId::DDR,
+                name: "DDR".into(),
+                capacity: None,
+                relative_performance: 1.0,
+            },
+            TierBudget {
+                tier: TierId::DDR,
+                name: "DDR2".into(),
+                capacity: None,
+                relative_performance: 0.9,
+            },
+        ]);
+        assert!(dup.is_err());
+        assert!(MemorySpec::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let text = "# memory layout\nMCDRAM 256M 5.0\nDDR unlimited 1.0\n";
+        let spec = MemorySpec::parse(text).unwrap();
+        assert_eq!(spec.tiers().len(), 2);
+        assert_eq!(spec.tiers()[0].capacity, Some(ByteSize::from_mib(256)));
+        assert_eq!(spec.tiers()[0].tier, TierId::MCDRAM);
+        let rendered = spec.to_config_text();
+        let reparsed = MemorySpec::parse(&rendered).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(MemorySpec::parse("MCDRAM 256M\n").is_err());
+        assert!(MemorySpec::parse("MCDRAM big 5.0\nDDR unlimited 1\n").is_err());
+        assert!(MemorySpec::parse("MCDRAM 1G notanumber\nDDR unlimited 1\n").is_err());
+    }
+
+    #[test]
+    fn three_tier_spec_is_supported() {
+        let text = "HBM 16G 5\nDDR 96G 1\nNVM unlimited 0.3\n";
+        let spec = MemorySpec::parse(text).unwrap();
+        let order = spec.by_descending_performance();
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0].name, "HBM");
+        assert_eq!(spec.fallback().name, "NVM");
+    }
+}

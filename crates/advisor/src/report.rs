@@ -1,0 +1,257 @@
+//! The advisor's output: a human-readable placement report.
+//!
+//! The paper keeps this report human-readable for two reasons: statically
+//! allocated objects cannot be migrated automatically (the developer must act
+//! on them), and developers may prefer to edit the code themselves. The same
+//! report is what `auto-hbwmalloc` parses at run time.
+
+use crate::memspec::MemorySpec;
+use crate::strategy::SelectionStrategy;
+use hmsim_callstack::SiteKey;
+use hmsim_common::{ByteSize, HmError, HmResult, TierId};
+
+/// One selected object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectionEntry {
+    /// Object name.
+    pub name: String,
+    /// Allocation call-stack key for dynamic objects.
+    pub site: Option<SiteKey>,
+    /// The tier the object should be placed in.
+    pub tier: TierId,
+    /// Tier name (for the human-readable rendering).
+    pub tier_name: String,
+    /// The object's (maximum observed) size.
+    pub size: ByteSize,
+    /// LLC misses attributed to the object in the profiling run.
+    pub llc_misses: u64,
+    /// Whether `auto-hbwmalloc` can apply this placement automatically
+    /// (dynamic allocations only); static/stack objects are listed for the
+    /// developer.
+    pub automatic: bool,
+}
+
+/// The complete placement recommendation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacementReport {
+    /// Application the report was generated for.
+    pub application: String,
+    /// Strategy that produced it.
+    pub strategy: SelectionStrategy,
+    /// Memory specification it was generated against.
+    pub memspec: MemorySpec,
+    /// Selected objects (fast tiers only; everything else falls back).
+    pub entries: Vec<SelectionEntry>,
+    /// Smallest selected dynamic-object size (auto-hbwmalloc's `lb_size`
+    /// pre-filter).
+    pub lb_size: ByteSize,
+    /// Largest selected dynamic-object size (`ub_size`).
+    pub ub_size: ByteSize,
+}
+
+impl PlacementReport {
+    /// Entries that `auto-hbwmalloc` will apply automatically.
+    pub fn automatic_entries(&self) -> impl Iterator<Item = &SelectionEntry> {
+        self.entries.iter().filter(|e| e.automatic)
+    }
+
+    /// Entries the developer must handle manually (static/stack objects).
+    pub fn manual_entries(&self) -> impl Iterator<Item = &SelectionEntry> {
+        self.entries.iter().filter(|e| !e.automatic)
+    }
+
+    /// Total bytes selected for `tier` (page aligned).
+    pub fn selected_bytes(&self, tier: TierId) -> ByteSize {
+        self.entries
+            .iter()
+            .filter(|e| e.tier == tier)
+            .map(|e| e.size.page_aligned())
+            .sum()
+    }
+
+    /// Whether the site key of a dynamic allocation is selected; returns the
+    /// target tier if so.
+    pub fn tier_for_site(&self, site: &SiteKey) -> Option<TierId> {
+        self.entries
+            .iter()
+            .find(|e| e.automatic && e.site.as_ref() == Some(site))
+            .map(|e| e.tier)
+    }
+
+    /// Render the human-readable report text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# hmem_advisor placement report\n# application: {}\n# strategy: {}\n# lb_size: {}\n# ub_size: {}\n",
+            self.application,
+            self.strategy,
+            self.lb_size.bytes(),
+            self.ub_size.bytes()
+        ));
+        out.push_str("# memory specification:\n");
+        for line in self.memspec.to_config_text().lines() {
+            out.push_str(&format!("#   {line}\n"));
+        }
+        for e in &self.entries {
+            let auto = if e.automatic { "auto" } else { "manual" };
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                e.tier_name,
+                auto,
+                e.llc_misses,
+                e.size.bytes(),
+                e.name.replace('\t', " "),
+                e.site.as_ref().map(|s| s.as_str()).unwrap_or("-"),
+            ));
+        }
+        out
+    }
+
+    /// Parse a report back from its text rendering. The memory specification
+    /// and strategy are restored approximately (enough for `auto-hbwmalloc`,
+    /// which only needs the entries and the size bounds).
+    pub fn parse(text: &str) -> HmResult<PlacementReport> {
+        let mut application = String::from("unknown");
+        let mut lb_size = ByteSize::ZERO;
+        let mut ub_size = ByteSize::ZERO;
+        let mut entries = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                let comment = comment.trim();
+                if let Some(v) = comment.strip_prefix("application:") {
+                    application = v.trim().to_string();
+                } else if let Some(v) = comment.strip_prefix("lb_size:") {
+                    lb_size = ByteSize::from_bytes(
+                        v.trim()
+                            .parse()
+                            .map_err(|_| HmError::parse_at(lineno, "bad lb_size"))?,
+                    );
+                } else if let Some(v) = comment.strip_prefix("ub_size:") {
+                    ub_size = ByteSize::from_bytes(
+                        v.trim()
+                            .parse()
+                            .map_err(|_| HmError::parse_at(lineno, "bad ub_size"))?,
+                    );
+                }
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() < 6 {
+                return Err(HmError::parse_at(
+                    lineno,
+                    format!("expected 6 tab-separated fields, got {}", fields.len()),
+                ));
+            }
+            let tier_name = fields[0].to_string();
+            let tier = match tier_name.to_ascii_uppercase().as_str() {
+                "MCDRAM" | "HBM" => TierId::MCDRAM,
+                "DDR" | "DRAM" => TierId::DDR,
+                _ => TierId(2),
+            };
+            entries.push(SelectionEntry {
+                tier,
+                tier_name,
+                automatic: fields[1] == "auto",
+                llc_misses: fields[2]
+                    .parse()
+                    .map_err(|_| HmError::parse_at(lineno, "bad miss count"))?,
+                size: ByteSize::from_bytes(
+                    fields[3]
+                        .parse()
+                        .map_err(|_| HmError::parse_at(lineno, "bad size"))?,
+                ),
+                name: fields[4].to_string(),
+                site: (fields[5] != "-").then(|| SiteKey::from_text(fields[5])),
+            });
+        }
+        Ok(PlacementReport {
+            application,
+            strategy: SelectionStrategy::Misses {
+                threshold_percent: 0.0,
+            },
+            memspec: MemorySpec::knl_budget(ub_size.max(ByteSize::from_mib(16))),
+            entries,
+            lb_size,
+            ub_size,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PlacementReport {
+        PlacementReport {
+            application: "miniFE".to_string(),
+            strategy: SelectionStrategy::Density,
+            memspec: MemorySpec::knl_budget(ByteSize::from_mib(128)),
+            entries: vec![
+                SelectionEntry {
+                    name: "A.values".to_string(),
+                    site: Some(SiteKey::from_text("libc!malloc+0x1|minife!create_matrix+0x8")),
+                    tier: TierId::MCDRAM,
+                    tier_name: "MCDRAM".to_string(),
+                    size: ByteSize::from_mib(60),
+                    llc_misses: 2_000_000,
+                    automatic: true,
+                },
+                SelectionEntry {
+                    name: "static_table".to_string(),
+                    site: None,
+                    tier: TierId::MCDRAM,
+                    tier_name: "MCDRAM".to_string(),
+                    size: ByteSize::from_mib(20),
+                    llc_misses: 400_000,
+                    automatic: false,
+                },
+            ],
+            lb_size: ByteSize::from_mib(60),
+            ub_size: ByteSize::from_mib(60),
+        }
+    }
+
+    #[test]
+    fn automatic_and_manual_split() {
+        let r = report();
+        assert_eq!(r.automatic_entries().count(), 1);
+        assert_eq!(r.manual_entries().count(), 1);
+        assert_eq!(r.selected_bytes(TierId::MCDRAM), ByteSize::from_mib(80));
+        assert_eq!(r.selected_bytes(TierId::DDR), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn tier_for_site_matches_only_automatic_entries() {
+        let r = report();
+        let site = SiteKey::from_text("libc!malloc+0x1|minife!create_matrix+0x8");
+        assert_eq!(r.tier_for_site(&site), Some(TierId::MCDRAM));
+        assert_eq!(r.tier_for_site(&SiteKey::from_text("other")), None);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_entries_and_bounds() {
+        let r = report();
+        let text = r.to_text();
+        let parsed = PlacementReport::parse(&text).unwrap();
+        assert_eq!(parsed.application, "miniFE");
+        assert_eq!(parsed.lb_size, r.lb_size);
+        assert_eq!(parsed.ub_size, r.ub_size);
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[0].name, "A.values");
+        assert_eq!(parsed.entries[0].tier, TierId::MCDRAM);
+        assert!(parsed.entries[0].automatic);
+        assert_eq!(parsed.entries[0].site, r.entries[0].site);
+        assert!(!parsed.entries[1].automatic);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(PlacementReport::parse("MCDRAM\tauto\t1\n").is_err());
+        assert!(PlacementReport::parse("MCDRAM\tauto\tx\t1\tname\t-\n").is_err());
+    }
+}

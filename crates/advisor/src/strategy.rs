@@ -1,0 +1,81 @@
+//! Selection strategies.
+
+use std::fmt;
+
+/// How the advisor ranks candidate objects for promotion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SelectionStrategy {
+    /// Rank by absolute LLC-miss count, skipping objects that contribute less
+    /// than `threshold_percent` of the total misses.
+    Misses {
+        /// Minimum share of total misses (in percent) an object must reach to
+        /// be considered.
+        threshold_percent: f64,
+    },
+    /// Rank by miss density (misses per byte).
+    Density,
+    /// Solve the 0/1 knapsack exactly per tier (dynamic programming); only
+    /// practical for small object counts and budgets, provided for
+    /// comparison.
+    ExactKnapsack,
+}
+
+impl SelectionStrategy {
+    /// The four strategy configurations evaluated in Figure 4 of the paper.
+    pub fn paper_set() -> Vec<SelectionStrategy> {
+        vec![
+            SelectionStrategy::Density,
+            SelectionStrategy::Misses {
+                threshold_percent: 0.0,
+            },
+            SelectionStrategy::Misses {
+                threshold_percent: 1.0,
+            },
+            SelectionStrategy::Misses {
+                threshold_percent: 5.0,
+            },
+        ]
+    }
+
+    /// Short label used in figures and CSV output.
+    pub fn label(&self) -> String {
+        match self {
+            SelectionStrategy::Misses { threshold_percent } => {
+                format!("Misses({}%)", threshold_percent)
+            }
+            SelectionStrategy::Density => "Density".to_string(),
+            SelectionStrategy::ExactKnapsack => "ExactKnapsack".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SelectionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_matches_figure_4() {
+        let set = SelectionStrategy::paper_set();
+        assert_eq!(set.len(), 4);
+        let labels: Vec<String> = set.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Density", "Misses(0%)", "Misses(1%)", "Misses(5%)"]
+        );
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(
+            format!("{}", SelectionStrategy::Misses { threshold_percent: 5.0 }),
+            "Misses(5%)"
+        );
+        assert_eq!(format!("{}", SelectionStrategy::ExactKnapsack), "ExactKnapsack");
+    }
+}

@@ -1,0 +1,107 @@
+//! What-if estimation: predicted benefit of a placement before re-running.
+//!
+//! The paper lists performance prediction as future work ("it would be
+//! interesting to explore ways [of] predicting the application performance
+//! gains when moving some data objects into fast memory"); this module
+//! provides the simple first-order estimate that the framework's own cost
+//! model already implies: the fraction of LLC-miss traffic whose service
+//! moves from the slow tier to the fast tier bounds the achievable
+//! memory-time reduction.
+
+use crate::report::PlacementReport;
+use hmsim_analysis::ObjectReport;
+
+/// First-order benefit estimate for a placement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenefitEstimate {
+    /// Fraction of all attributed LLC misses covered by automatically placed
+    /// objects (0..1).
+    pub covered_miss_fraction: f64,
+    /// Upper bound on the memory-time speedup, assuming memory time scales
+    /// with the miss traffic served by the slow tier:
+    /// `1 / (1 - covered * (1 - slow/fast bandwidth ratio))`.
+    pub memory_speedup_bound: f64,
+}
+
+/// Estimate the benefit of `placement` given the profiling `report` and the
+/// fast:slow bandwidth ratio of the machine (≈ 5 for KNL).
+pub fn estimate_benefit(
+    report: &ObjectReport,
+    placement: &PlacementReport,
+    fast_to_slow_bandwidth_ratio: f64,
+) -> BenefitEstimate {
+    let total: u64 = report.total_misses.max(1);
+    let covered: u64 = placement
+        .automatic_entries()
+        .map(|e| e.llc_misses)
+        .sum();
+    let covered_miss_fraction = (covered as f64 / total as f64).clamp(0.0, 1.0);
+    let ratio = fast_to_slow_bandwidth_ratio.max(1.0);
+    let remaining = 1.0 - covered_miss_fraction * (1.0 - 1.0 / ratio);
+    BenefitEstimate {
+        covered_miss_fraction,
+        memory_speedup_bound: 1.0 / remaining.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memspec::MemorySpec;
+    use crate::report::SelectionEntry;
+    use crate::strategy::SelectionStrategy;
+    use hmsim_common::{ByteSize, TierId};
+
+    fn placement(covered_misses: u64) -> PlacementReport {
+        PlacementReport {
+            application: "x".to_string(),
+            strategy: SelectionStrategy::Density,
+            memspec: MemorySpec::knl_budget(ByteSize::from_mib(64)),
+            entries: vec![SelectionEntry {
+                name: "hot".to_string(),
+                site: None,
+                tier: TierId::MCDRAM,
+                tier_name: "MCDRAM".to_string(),
+                size: ByteSize::from_mib(32),
+                llc_misses: covered_misses,
+                automatic: true,
+            }],
+            lb_size: ByteSize::ZERO,
+            ub_size: ByteSize::from_mib(32),
+        }
+    }
+
+    fn report(total: u64) -> ObjectReport {
+        ObjectReport {
+            application: "x".to_string(),
+            objects: vec![],
+            total_misses: total,
+            unattributed_misses: 0,
+        }
+    }
+
+    #[test]
+    fn full_coverage_approaches_bandwidth_ratio() {
+        let est = estimate_benefit(&report(1_000), &placement(1_000), 5.0);
+        assert!((est.covered_miss_fraction - 1.0).abs() < 1e-12);
+        assert!((est.memory_speedup_bound - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_coverage_gives_intermediate_speedups() {
+        let half = estimate_benefit(&report(1_000), &placement(500), 5.0);
+        assert!(half.memory_speedup_bound > 1.0);
+        assert!(half.memory_speedup_bound < 5.0);
+        let none = estimate_benefit(&report(1_000), &placement(0), 5.0);
+        assert!((none.memory_speedup_bound - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_is_clamped() {
+        // Covered misses exceeding the total (possible when traces differ)
+        // must not produce speedups above the bandwidth ratio.
+        let est = estimate_benefit(&report(100), &placement(500), 4.0);
+        assert!(est.covered_miss_fraction <= 1.0);
+        assert!(est.memory_speedup_bound <= 4.0 + 1e-9);
+    }
+}

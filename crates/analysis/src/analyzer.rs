@@ -1,0 +1,281 @@
+//! Trace analysis: attribute samples to objects and aggregate per-site
+//! statistics.
+
+use crate::object_stats::{ObjectReport, ObjectStats, ReportedKind};
+use hmsim_callstack::SiteKey;
+use hmsim_common::{Address, AddressRange, ByteSize, ObjectId};
+use hmsim_trace::{ObjectClass, TraceEvent, TraceFile};
+use std::collections::HashMap;
+
+#[derive(Clone)]
+struct LiveObject {
+    key: GroupKey,
+    range: AddressRange,
+}
+
+/// Objects are grouped by allocation site (dynamic) or by name (static and
+/// stack), matching Paramedir's behaviour of collapsing repeated allocations
+/// from the same call-stack into one reported object.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum GroupKey {
+    Site(SiteKey),
+    Name(String),
+}
+
+struct Group {
+    name: String,
+    site: Option<SiteKey>,
+    kind: ReportedKind,
+    max_size: ByteSize,
+    min_size: ByteSize,
+    llc_misses: u64,
+    samples: u64,
+    allocation_count: u64,
+}
+
+/// Analyse a trace into a per-object report.
+///
+/// Sample attribution prefers the object id recorded by the profiler; samples
+/// lacking one are matched against the address ranges of objects live at the
+/// sample's timestamp (which is how the real Extrae/Paramedir pipeline works,
+/// since PEBS only reports an address).
+pub fn analyze_trace(trace: &TraceFile) -> ObjectReport {
+    let mut groups: HashMap<GroupKey, Group> = HashMap::new();
+    let mut by_id: HashMap<ObjectId, LiveObject> = HashMap::new();
+    // Live address index (linear scan on fallback attribution is fine at the
+    // trace sizes the paper reports: tens of thousands of samples).
+    let mut live: Vec<(AddressRange, GroupKey)> = Vec::new();
+
+    let mut total_misses = 0u64;
+    let mut unattributed = 0u64;
+
+    for event in trace.events() {
+        match event {
+            TraceEvent::Alloc(a) => {
+                let (key, kind) = match (a.class, &a.site) {
+                    (ObjectClass::Dynamic, Some(site)) => {
+                        (GroupKey::Site(site.clone()), ReportedKind::Dynamic)
+                    }
+                    (ObjectClass::Dynamic, None) => {
+                        (GroupKey::Name(a.name.clone()), ReportedKind::Dynamic)
+                    }
+                    (ObjectClass::Static, _) => {
+                        (GroupKey::Name(a.name.clone()), ReportedKind::Static)
+                    }
+                    (ObjectClass::Stack, _) => {
+                        (GroupKey::Name(a.name.clone()), ReportedKind::Stack)
+                    }
+                };
+                let range = AddressRange::new(a.address, a.size);
+                let group = groups.entry(key.clone()).or_insert_with(|| Group {
+                    name: a.name.clone(),
+                    site: a.site.clone(),
+                    kind,
+                    max_size: ByteSize::ZERO,
+                    min_size: ByteSize::from_bytes(u64::MAX),
+                    llc_misses: 0,
+                    samples: 0,
+                    allocation_count: 0,
+                });
+                group.allocation_count += 1;
+                group.max_size = group.max_size.max(a.size);
+                group.min_size = group.min_size.min(a.size);
+                by_id.insert(
+                    a.object,
+                    LiveObject {
+                        key: key.clone(),
+                        range,
+                    },
+                );
+                live.push((range, key));
+            }
+            TraceEvent::Free { object, .. } => {
+                if let Some(obj) = by_id.remove(object) {
+                    live.retain(|(range, _)| *range != obj.range);
+                }
+            }
+            TraceEvent::Sample(s) => {
+                total_misses += s.weight;
+                let key = match s.object.and_then(|id| by_id.get(&id)) {
+                    Some(obj) => Some(obj.key.clone()),
+                    None => lookup_by_address(&live, s.address),
+                };
+                match key {
+                    Some(key) => {
+                        if let Some(group) = groups.get_mut(&key) {
+                            group.llc_misses += s.weight;
+                            group.samples += 1;
+                        } else {
+                            unattributed += s.weight;
+                        }
+                    }
+                    None => unattributed += s.weight,
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut report = ObjectReport {
+        application: trace.metadata.application.clone(),
+        objects: groups
+            .into_values()
+            .map(|g| ObjectStats {
+                name: g.name,
+                site: g.site,
+                kind: g.kind,
+                max_size: g.max_size,
+                min_size: if g.min_size.bytes() == u64::MAX {
+                    ByteSize::ZERO
+                } else {
+                    g.min_size
+                },
+                llc_misses: g.llc_misses,
+                samples: g.samples,
+                allocation_count: g.allocation_count,
+            })
+            .collect(),
+        total_misses,
+        unattributed_misses: unattributed,
+    };
+    report.sort_by_misses();
+    report
+}
+
+fn lookup_by_address(live: &[(AddressRange, GroupKey)], addr: Address) -> Option<GroupKey> {
+    live.iter()
+        .find(|(range, _)| range.contains(addr))
+        .map(|(_, key)| key.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_common::Nanos;
+    use hmsim_trace::{AllocationRecord, SampleRecord, TraceMetadata};
+
+    fn alloc(
+        t: &mut TraceFile,
+        id: u32,
+        name: &str,
+        class: ObjectClass,
+        site: Option<&str>,
+        start: u64,
+        size: ByteSize,
+        time_ms: f64,
+    ) {
+        t.push(TraceEvent::Alloc(AllocationRecord {
+            time: Nanos::from_millis(time_ms),
+            object: ObjectId(id),
+            class,
+            name: name.to_string(),
+            site: site.map(SiteKey::from_text),
+            address: Address(start),
+            size,
+        }));
+    }
+
+    fn sample(t: &mut TraceFile, addr: u64, obj: Option<u32>, weight: u64, time_ms: f64) {
+        t.push(TraceEvent::Sample(SampleRecord {
+            time: Nanos::from_millis(time_ms),
+            address: Address(addr),
+            object: obj.map(ObjectId),
+            weight,
+            latency_cycles: None,
+        }));
+    }
+
+    #[test]
+    fn samples_are_attributed_and_sorted() {
+        let mut t = TraceFile::new(TraceMetadata::default());
+        alloc(&mut t, 0, "matrix", ObjectClass::Dynamic, Some("app!m+0x1"), 0x100000, ByteSize::from_mib(8), 0.0);
+        alloc(&mut t, 1, "vector", ObjectClass::Dynamic, Some("app!v+0x2"), 0x900000, ByteSize::from_mib(1), 0.0);
+        for i in 0..9 {
+            sample(&mut t, 0x100000 + i * 64, Some(0), 1000, 1.0 + i as f64);
+        }
+        sample(&mut t, 0x900040, Some(1), 1000, 10.0);
+        let report = analyze_trace(&t);
+        assert_eq!(report.objects.len(), 2);
+        assert_eq!(report.objects[0].name, "matrix");
+        assert_eq!(report.objects[0].llc_misses, 9000);
+        assert_eq!(report.objects[0].samples, 9);
+        assert_eq!(report.objects[1].llc_misses, 1000);
+        assert_eq!(report.total_misses, 10_000);
+        assert_eq!(report.unattributed_misses, 0);
+    }
+
+    #[test]
+    fn address_fallback_attribution_works_without_object_ids() {
+        let mut t = TraceFile::new(TraceMetadata::default());
+        alloc(&mut t, 0, "grid", ObjectClass::Dynamic, Some("app!g+0x1"), 0x200000, ByteSize::from_mib(4), 0.0);
+        sample(&mut t, 0x200000 + 4096, None, 500, 1.0);
+        sample(&mut t, 0xdead0000, None, 500, 2.0);
+        let report = analyze_trace(&t);
+        assert_eq!(report.objects[0].llc_misses, 500);
+        assert_eq!(report.unattributed_misses, 500);
+        assert_eq!(report.total_misses, 1000);
+    }
+
+    #[test]
+    fn repeated_allocations_from_one_site_report_max_size() {
+        let mut t = TraceFile::new(TraceMetadata::default());
+        // A loop allocating/freeing from the same site with growing sizes.
+        for (i, mib) in [1u64, 8, 4].iter().enumerate() {
+            let id = i as u32;
+            alloc(
+                &mut t,
+                id,
+                "workbuf",
+                ObjectClass::Dynamic,
+                Some("app!loop_alloc+0x10"),
+                0x300000 + i as u64 * 0x100_0000,
+                ByteSize::from_mib(*mib),
+                i as f64,
+            );
+            t.push(TraceEvent::Free {
+                time: Nanos::from_millis(i as f64 + 0.5),
+                object: ObjectId(id),
+                address: Address(0x300000 + i as u64 * 0x100_0000),
+            });
+        }
+        let report = analyze_trace(&t);
+        assert_eq!(report.objects.len(), 1, "one site -> one reported object");
+        let o = &report.objects[0];
+        assert_eq!(o.allocation_count, 3);
+        assert_eq!(o.max_size, ByteSize::from_mib(8));
+        assert_eq!(o.min_size, ByteSize::from_mib(1));
+    }
+
+    #[test]
+    fn static_objects_group_by_name_and_are_not_promotable() {
+        let mut t = TraceFile::new(TraceMetadata::default());
+        alloc(&mut t, 0, "common_u", ObjectClass::Static, None, 0x600000, ByteSize::from_mib(64), 0.0);
+        sample(&mut t, 0x600000 + 100, Some(0), 2000, 1.0);
+        let report = analyze_trace(&t);
+        assert_eq!(report.objects[0].kind, ReportedKind::Static);
+        assert!(!report.objects[0].promotable());
+        assert_eq!(report.objects[0].llc_misses, 2000);
+    }
+
+    #[test]
+    fn samples_after_free_are_unattributed() {
+        let mut t = TraceFile::new(TraceMetadata::default());
+        alloc(&mut t, 0, "temp", ObjectClass::Dynamic, Some("app!t+0x1"), 0x400000, ByteSize::from_mib(1), 0.0);
+        t.push(TraceEvent::Free {
+            time: Nanos::from_millis(5.0),
+            object: ObjectId(0),
+            address: Address(0x400000),
+        });
+        sample(&mut t, 0x400100, None, 700, 6.0);
+        let report = analyze_trace(&t);
+        assert_eq!(report.unattributed_misses, 700);
+        assert_eq!(report.objects[0].llc_misses, 0);
+    }
+
+    #[test]
+    fn empty_trace_gives_empty_report() {
+        let report = analyze_trace(&TraceFile::new(TraceMetadata::default()));
+        assert!(report.objects.is_empty());
+        assert_eq!(report.total_misses, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! CSV serialisation of object reports — the hand-off file between the
+//! analysis stage (Paramedir) and `hmem_advisor`.
+
+use crate::object_stats::{ObjectReport, ObjectStats, ReportedKind};
+use hmsim_callstack::SiteKey;
+use hmsim_common::{ByteSize, HmError, HmResult};
+use hmsim_common::table::{csv_escape, csv_parse_line};
+
+/// Header line of the report CSV.
+pub const CSV_HEADER: &str =
+    "name,kind,site,llc_misses,samples,max_size_bytes,min_size_bytes,allocation_count";
+
+/// Serialise a report to CSV.
+pub fn write_csv(report: &ObjectReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# application={} total_misses={} unattributed={}\n",
+        csv_escape(&report.application),
+        report.total_misses,
+        report.unattributed_misses
+    ));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for o in &report.objects {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            csv_escape(&o.name),
+            o.kind.code(),
+            csv_escape(o.site.as_ref().map(|s| s.as_str()).unwrap_or("")),
+            o.llc_misses,
+            o.samples,
+            o.max_size.bytes(),
+            o.min_size.bytes(),
+            o.allocation_count
+        ));
+    }
+    out
+}
+
+/// Parse a report from CSV.
+pub fn read_csv(text: &str) -> HmResult<ObjectReport> {
+    let mut report = ObjectReport::default();
+    let mut seen_header = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix('#') {
+            for kv in meta.split_whitespace() {
+                if let Some((k, v)) = kv.split_once('=') {
+                    match k {
+                        "application" => report.application = v.to_string(),
+                        "total_misses" => {
+                            report.total_misses = v.parse().map_err(|_| {
+                                HmError::parse_at(lineno, format!("bad total_misses {v:?}"))
+                            })?
+                        }
+                        "unattributed" => {
+                            report.unattributed_misses = v.parse().map_err(|_| {
+                                HmError::parse_at(lineno, format!("bad unattributed {v:?}"))
+                            })?
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+        if !seen_header {
+            if !line.starts_with("name,") {
+                return Err(HmError::parse_at(lineno, "missing CSV header"));
+            }
+            seen_header = true;
+            continue;
+        }
+        let fields = csv_parse_line(line);
+        if fields.len() < 8 {
+            return Err(HmError::parse_at(
+                lineno,
+                format!("expected 8 fields, got {}", fields.len()),
+            ));
+        }
+        let parse_u64 = |idx: usize| -> HmResult<u64> {
+            fields[idx]
+                .parse()
+                .map_err(|_| HmError::parse_at(lineno, format!("bad integer {:?}", fields[idx])))
+        };
+        report.objects.push(ObjectStats {
+            name: fields[0].clone(),
+            kind: ReportedKind::from_code(&fields[1]).ok_or_else(|| {
+                HmError::parse_at(lineno, format!("unknown kind {:?}", fields[1]))
+            })?,
+            site: (!fields[2].is_empty()).then(|| SiteKey::from_text(fields[2].clone())),
+            llc_misses: parse_u64(3)?,
+            samples: parse_u64(4)?,
+            max_size: ByteSize::from_bytes(parse_u64(5)?),
+            min_size: ByteSize::from_bytes(parse_u64(6)?),
+            allocation_count: parse_u64(7)?,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ObjectReport {
+        ObjectReport {
+            application: "HPCG".to_string(),
+            objects: vec![
+                ObjectStats {
+                    name: "matrix values, level 0".to_string(),
+                    site: Some(SiteKey::from_text("libc!malloc+0x1|app!alloc+0x4")),
+                    kind: ReportedKind::Dynamic,
+                    max_size: ByteSize::from_mib(128),
+                    min_size: ByteSize::from_mib(64),
+                    llc_misses: 12_345_678,
+                    samples: 321,
+                    allocation_count: 4,
+                },
+                ObjectStats {
+                    name: "common_block".to_string(),
+                    site: None,
+                    kind: ReportedKind::Static,
+                    max_size: ByteSize::from_mib(512),
+                    min_size: ByteSize::from_mib(512),
+                    llc_misses: 42,
+                    samples: 1,
+                    allocation_count: 1,
+                },
+            ],
+            total_misses: 13_000_000,
+            unattributed_misses: 654_280,
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let original = report();
+        let text = write_csv(&original);
+        let parsed = read_csv(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn commas_in_names_survive() {
+        let text = write_csv(&report());
+        let parsed = read_csv(&text).unwrap();
+        assert_eq!(parsed.objects[0].name, "matrix values, level 0");
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected() {
+        assert!(read_csv("nonsense\n").is_err());
+        let missing_fields = format!("{CSV_HEADER}\nonly,three,fields\n");
+        assert!(read_csv(&missing_fields).is_err());
+        let bad_kind = format!("{CSV_HEADER}\nx,heap,,1,1,1,1,1\n");
+        assert!(read_csv(&bad_kind).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_report() {
+        let parsed = read_csv("").unwrap();
+        assert!(parsed.objects.is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! Folding: reconstructing a fine-grained timeline from coarse samples.
+//!
+//! The BSC Folding technique combines the samples collected across many
+//! executions of a repetitive region (e.g. the main solver iteration) into a
+//! single synthetic instance with much finer effective resolution. The
+//! paper's Figure 5 uses it to show, for SNAP's main iteration, which routine
+//! executes, which addresses are referenced and the achieved MIPS over the
+//! iteration — revealing that `outer_src_calc` drops in MIPS under the
+//! framework because its register spills stay in DDR.
+
+use hmsim_common::{Address, Nanos};
+use hmsim_trace::{TraceEvent, TraceFile};
+
+/// One bin of the folded timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FoldedBin {
+    /// Normalised position of the bin centre within the folded region (0..1).
+    pub position: f64,
+    /// Achieved MIPS in this bin (averaged over instances).
+    pub mips: f64,
+    /// LLC misses per second in this bin.
+    pub miss_rate: f64,
+    /// The routine most often active in this bin, if phase markers allow
+    /// telling.
+    pub dominant_routine: Option<String>,
+    /// Sampled addresses falling into this bin (across all instances).
+    pub sampled_addresses: Vec<Address>,
+}
+
+/// A folded timeline of one repetitive region.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FoldedTimeline {
+    /// Name of the folded region.
+    pub region: String,
+    /// Number of instances folded together.
+    pub instances: usize,
+    /// Mean duration of one instance.
+    pub mean_duration: Nanos,
+    /// The folded bins, in position order.
+    pub bins: Vec<FoldedBin>,
+}
+
+impl FoldedTimeline {
+    /// Fold every execution of phase `region` found in `trace` into `nbins`
+    /// bins.
+    pub fn fold(trace: &TraceFile, region: &str, nbins: usize) -> FoldedTimeline {
+        let nbins = nbins.max(1);
+        // 1. Find instances of the region.
+        let mut instances: Vec<(Nanos, Nanos)> = Vec::new();
+        let mut open: Option<Nanos> = None;
+        for e in trace.events() {
+            match e {
+                TraceEvent::PhaseBegin { time, name } if name == region => open = Some(*time),
+                TraceEvent::PhaseEnd { time, name } if name == region => {
+                    if let Some(start) = open.take() {
+                        if *time > start {
+                            instances.push((start, *time));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut bins: Vec<FoldedBinAccum> = (0..nbins).map(|_| FoldedBinAccum::default()).collect();
+        let mut total_duration = Nanos::ZERO;
+
+        // 2. Pour events of each instance into normalised bins.
+        for (start, end) in &instances {
+            let duration = *end - *start;
+            total_duration += duration;
+            let locate = |t: Nanos| -> Option<usize> {
+                if t < *start || t >= *end {
+                    return None;
+                }
+                let frac = (t - *start).nanos() / duration.nanos();
+                Some(((frac * nbins as f64) as usize).min(nbins - 1))
+            };
+            // Routine tracking within this instance: innermost nested phase.
+            let mut routine_stack: Vec<String> = Vec::new();
+            let mut last_routine_change = *start;
+            for e in trace.events() {
+                let t = e.time();
+                match e {
+                    TraceEvent::PhaseBegin { name, time } if name != region => {
+                        if let Some(bin_range) =
+                            span_bins(last_routine_change, *time, *start, duration, nbins)
+                        {
+                            if let Some(routine) = routine_stack.last() {
+                                for b in bin_range {
+                                    bins[b].routine_time(routine, 1.0);
+                                }
+                            }
+                        }
+                        routine_stack.push(name.clone());
+                        last_routine_change = *time;
+                    }
+                    TraceEvent::PhaseEnd { name, time } if name != region => {
+                        if let Some(bin_range) =
+                            span_bins(last_routine_change, *time, *start, duration, nbins)
+                        {
+                            if let Some(routine) = routine_stack.last() {
+                                for b in bin_range {
+                                    bins[b].routine_time(routine, 1.0);
+                                }
+                            }
+                        }
+                        routine_stack.pop();
+                        last_routine_change = *time;
+                    }
+                    TraceEvent::Sample(s) => {
+                        if let Some(b) = locate(t) {
+                            bins[b].samples.push(s.address);
+                            bins[b].misses += s.weight as f64;
+                        }
+                    }
+                    TraceEvent::Counters(c) => {
+                        if let Some(b) = locate(t) {
+                            bins[b].instructions += c.instructions as f64;
+                            bins[b].counter_misses += c.llc_misses as f64;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let instances_count = instances.len();
+        let mean_duration = if instances_count > 0 {
+            total_duration / instances_count as f64
+        } else {
+            Nanos::ZERO
+        };
+        let bin_time = mean_duration / nbins as f64;
+
+        let bins = bins
+            .into_iter()
+            .enumerate()
+            .map(|(i, acc)| {
+                let seconds = (bin_time.secs() * instances_count as f64).max(1e-12);
+                FoldedBin {
+                    position: (i as f64 + 0.5) / nbins as f64,
+                    mips: acc.instructions / seconds / 1e6,
+                    miss_rate: (acc.misses.max(acc.counter_misses)) / seconds,
+                    dominant_routine: acc.dominant_routine(),
+                    sampled_addresses: acc.samples,
+                }
+            })
+            .collect();
+
+        FoldedTimeline {
+            region: region.to_string(),
+            instances: instances_count,
+            mean_duration,
+            bins,
+        }
+    }
+
+    /// The bin positions and MIPS values, ready for plotting (Figure 5,
+    /// bottom panel).
+    pub fn mips_series(&self) -> Vec<(f64, f64)> {
+        self.bins.iter().map(|b| (b.position, b.mips)).collect()
+    }
+
+    /// The routine active in each bin (Figure 5, top panel).
+    pub fn routine_series(&self) -> Vec<(f64, Option<&str>)> {
+        self.bins
+            .iter()
+            .map(|b| (b.position, b.dominant_routine.as_deref()))
+            .collect()
+    }
+
+    /// Position of the bin with the lowest MIPS (ignoring empty bins).
+    pub fn slowest_bin(&self) -> Option<&FoldedBin> {
+        self.bins
+            .iter()
+            .filter(|b| b.mips > 0.0)
+            .min_by(|a, b| a.mips.partial_cmp(&b.mips).expect("MIPS not NaN"))
+    }
+}
+
+fn span_bins(
+    from: Nanos,
+    to: Nanos,
+    start: Nanos,
+    duration: Nanos,
+    nbins: usize,
+) -> Option<std::ops::RangeInclusive<usize>> {
+    if to <= from || duration.nanos() <= 0.0 {
+        return None;
+    }
+    let clamp = |t: Nanos| ((t - start).nanos() / duration.nanos()).clamp(0.0, 1.0);
+    let a = (clamp(from) * nbins as f64) as usize;
+    let b = ((clamp(to) * nbins as f64) as usize).min(nbins - 1);
+    (a <= b).then_some(a..=b)
+}
+
+#[derive(Clone, Debug, Default)]
+struct FoldedBinAccum {
+    instructions: f64,
+    misses: f64,
+    counter_misses: f64,
+    samples: Vec<Address>,
+    routines: std::collections::HashMap<String, f64>,
+}
+
+impl FoldedBinAccum {
+    fn routine_time(&mut self, routine: &str, weight: f64) {
+        *self.routines.entry(routine.to_string()).or_insert(0.0) += weight;
+    }
+
+    fn dominant_routine(&self) -> Option<String> {
+        self.routines
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights not NaN"))
+            .map(|(name, _)| name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_common::ObjectId;
+    use hmsim_trace::{CounterSnapshot, SampleRecord, TraceMetadata};
+
+    /// Build a trace with 4 iterations; in each, the routine "slow_kernel"
+    /// occupies the middle 40%–60% with far fewer instructions per unit time.
+    fn repetitive_trace() -> TraceFile {
+        let mut t = TraceFile::new(TraceMetadata::default());
+        let iter_len = 100.0; // ms
+        for i in 0..4 {
+            let base = i as f64 * iter_len;
+            t.push(TraceEvent::PhaseBegin {
+                time: Nanos::from_millis(base),
+                name: "iteration".to_string(),
+            });
+            t.push(TraceEvent::PhaseBegin {
+                time: Nanos::from_millis(base + 40.0),
+                name: "slow_kernel".to_string(),
+            });
+            t.push(TraceEvent::PhaseEnd {
+                time: Nanos::from_millis(base + 60.0),
+                name: "slow_kernel".to_string(),
+            });
+            // Counter snapshots every 10 ms: 10 per iteration. The middle two
+            // (covering 40-60 ms) retire far fewer instructions.
+            for s in 0..10 {
+                let at = base + 10.0 * s as f64 + 5.0;
+                let slow = (40.0..60.0).contains(&(10.0 * s as f64 + 5.0));
+                t.push(TraceEvent::Counters(CounterSnapshot {
+                    time: Nanos::from_millis(at),
+                    instructions: if slow { 2_000_000 } else { 20_000_000 },
+                    llc_misses: if slow { 50_000 } else { 5_000 },
+                }));
+                if slow {
+                    t.push(TraceEvent::Sample(SampleRecord {
+                        time: Nanos::from_millis(at),
+                        address: Address(0x7ffd_0000_1000),
+                        object: Some(ObjectId(9)),
+                        weight: 1000,
+                        latency_cycles: None,
+                    }));
+                }
+            }
+            t.push(TraceEvent::PhaseEnd {
+                time: Nanos::from_millis(base + iter_len),
+                name: "iteration".to_string(),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn folding_finds_instances_and_duration() {
+        let timeline = FoldedTimeline::fold(&repetitive_trace(), "iteration", 10);
+        assert_eq!(timeline.instances, 4);
+        assert!((timeline.mean_duration.millis() - 100.0).abs() < 1e-6);
+        assert_eq!(timeline.bins.len(), 10);
+    }
+
+    #[test]
+    fn mips_dip_appears_in_the_slow_region() {
+        let timeline = FoldedTimeline::fold(&repetitive_trace(), "iteration", 10);
+        let series = timeline.mips_series();
+        // Bins around position 0.45-0.55 must be the slowest.
+        let slowest = timeline.slowest_bin().unwrap();
+        assert!(
+            (0.4..0.6).contains(&slowest.position),
+            "slowest bin at {}",
+            slowest.position
+        );
+        // Fast bins achieve roughly 10x the slow bins' MIPS.
+        let fast = series
+            .iter()
+            .filter(|(p, _)| *p < 0.3)
+            .map(|(_, m)| *m)
+            .fold(0.0f64, f64::max);
+        assert!(fast > slowest.mips * 5.0, "fast {fast} slow {}", slowest.mips);
+    }
+
+    #[test]
+    fn dominant_routine_and_samples_land_in_slow_bins() {
+        let timeline = FoldedTimeline::fold(&repetitive_trace(), "iteration", 10);
+        let mid = &timeline.bins[4];
+        assert_eq!(mid.dominant_routine.as_deref(), Some("slow_kernel"));
+        assert!(!mid.sampled_addresses.is_empty());
+        let early = &timeline.bins[0];
+        assert!(early.sampled_addresses.is_empty());
+        assert!(mid.miss_rate > early.miss_rate);
+    }
+
+    #[test]
+    fn folding_unknown_region_is_empty() {
+        let timeline = FoldedTimeline::fold(&repetitive_trace(), "nope", 5);
+        assert_eq!(timeline.instances, 0);
+        assert_eq!(timeline.mean_duration, Nanos::ZERO);
+        assert!(timeline.slowest_bin().is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! GTC-P (Princeton Gyrokinetic Toroidal Code), 160328 snapshot.
+//!
+//! 64 ranks × 4 threads, ~1.3 GiB per rank, 50 iterations. The particle
+//! arrays (`zion`) are huge and streamed; the grid arrays (field and charge
+//! density) are small but accessed with data-dependent gather/scatter from
+//! every particle, making them both intensely and irregularly accessed. The
+//! framework wins by promoting the grid arrays (high miss density), which is
+//! also why the density strategy is the natural fit for this code; FCFS
+//! placement wastes the budget on the particle-sort workspace allocated
+//! early.
+
+use crate::spec::{AppSpec, KernelSpec, ObjectSpec};
+use hmsim_common::{ByteSize, Nanos};
+
+/// The GTC-P workload model.
+pub fn spec() -> AppSpec {
+    AppSpec {
+        name: "GTC-P",
+        version: "160328",
+        language: "C",
+        parallelism: "MPI+OpenMP",
+        lines_of_code: 8_362,
+        ranks: 64,
+        threads_per_rank: 4,
+        problem_size: "micell=3, 861,390 grid, 50 its",
+        compilation_flags: "-g -O3 -xMIC-AVX512 -qopenmp",
+        fom_name: "Iterations/s",
+        fom_work_per_iteration: 1.0,
+        alloc_statement_counts: "156/0/156/0/0/0/0/0",
+        iterations: 50,
+        instructions_per_iteration: 17_500_000_000,
+        misses_per_iteration: 260_000_000,
+        hot_working_set: ByteSize::from_mib(900),
+        small_allocs_per_second: 20.57,
+        init_time: Nanos::from_secs(6.0),
+        objects: vec![
+            // Particle-sort workspace allocated early: big, cold, poisons
+            // FCFS filling.
+            ObjectSpec::dynamic(
+                "particle_sort_workspace",
+                ByteSize::from_mib(150),
+                &["main", "initialize", "malloc"],
+                0.02,
+                0.10,
+            ),
+            // The particle arrays: streamed, too large for any budget.
+            ObjectSpec::dynamic(
+                "zion_particles",
+                ByteSize::from_mib(700),
+                &["main", "allocate_state", "malloc"],
+                0.30,
+                0.15,
+            ),
+            ObjectSpec::dynamic(
+                "zion0_particles",
+                ByteSize::from_mib(120),
+                &["main", "allocate_state", "alloc_workspace", "malloc"],
+                0.10,
+                0.10,
+            ),
+            // The grid arrays: small, extremely hot, gather/scatter access.
+            ObjectSpec::dynamic(
+                "field_grid",
+                ByteSize::from_mib(60),
+                &["main", "allocate_state", "alloc_matrix", "malloc"],
+                0.25,
+                0.60,
+            ),
+            ObjectSpec::dynamic(
+                "charge_density_grid",
+                ByteSize::from_mib(60),
+                &["main", "allocate_state", "alloc_vectors", "malloc"],
+                0.20,
+                0.60,
+            ),
+            ObjectSpec::dynamic(
+                "shift_comm_buffers",
+                ByteSize::from_mib(30),
+                &["main", "CommSetup", "malloc"],
+                0.06,
+                0.30,
+            ),
+            ObjectSpec::dynamic(
+                "diagnostics_arrays",
+                ByteSize::from_mib(80),
+                &["main", "finalize", "malloc"],
+                0.02,
+                0.10,
+            ),
+            ObjectSpec::static_var("equilibrium_tables", ByteSize::from_mib(40), 0.02, 0.20),
+            ObjectSpec::stack("omp_thread_stacks", ByteSize::from_mib(10), 0.03, 0.55),
+        ],
+        kernels: vec![
+            KernelSpec {
+                name: "charge_deposition",
+                instruction_share: 0.35,
+                miss_share: 0.40,
+                object_weights: &[
+                    ("zion_particles", 0.35),
+                    ("charge_density_grid", 0.45),
+                    ("zion0_particles", 0.20),
+                ],
+            },
+            KernelSpec {
+                name: "push_particles",
+                instruction_share: 0.45,
+                miss_share: 0.42,
+                object_weights: &[
+                    ("zion_particles", 0.38),
+                    ("field_grid", 0.50),
+                    ("equilibrium_tables", 0.12),
+                ],
+            },
+            KernelSpec {
+                name: "shift_and_solve",
+                instruction_share: 0.20,
+                miss_share: 0.18,
+                object_weights: &[
+                    ("shift_comm_buffers", 0.35),
+                    ("field_grid", 0.30),
+                    ("charge_density_grid", 0.35),
+                ],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_valid_and_matches_table1_scale() {
+        let s = spec();
+        s.validate().unwrap();
+        let mib = s.footprint().mib();
+        assert!((1200.0..=1450.0).contains(&mib), "footprint {mib} MiB");
+    }
+
+    #[test]
+    fn grid_arrays_are_small_hot_and_irregular() {
+        let s = spec();
+        for name in ["field_grid", "charge_density_grid"] {
+            let o = s.objects.iter().find(|o| o.name == name).unwrap();
+            assert!(o.size <= ByteSize::from_mib(64));
+            assert!(o.irregular >= 0.5);
+            assert!(s.miss_fraction(name) >= 0.15);
+        }
+    }
+
+    #[test]
+    fn particle_arrays_never_fit_a_per_rank_budget() {
+        let s = spec();
+        let zion = s.objects.iter().find(|o| o.name == "zion_particles").unwrap();
+        assert!(zion.size > ByteSize::from_mib(256));
+    }
+
+    #[test]
+    fn grid_arrays_have_higher_density_than_particle_arrays() {
+        // This is what makes the Density strategy the right choice for GTC-P.
+        let s = spec();
+        let density = |name: &str| {
+            let o = s.objects.iter().find(|o| o.name == name).unwrap();
+            s.miss_fraction(name) / o.size.mib()
+        };
+        assert!(density("field_grid") > 5.0 * density("zion_particles"));
+    }
+}

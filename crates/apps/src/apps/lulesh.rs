@@ -1,0 +1,186 @@
+//! LULESH 2.0 — Livermore Unstructured Lagrange Explicit Shock Hydrodynamics.
+//!
+//! 64 ranks × 4 threads, 96³ elements, 50 iterations, ~859 MiB per rank.
+//! The placement-relevant behaviour from §IV of the paper:
+//!
+//! * the application allocates and deallocates many temporaries *inside* the
+//!   iteration loop, which "misleads the framework because hmem_advisor
+//!   considers data objects alive for the whole execution";
+//! * several of those temporaries fall in the 1–2 MiB range where memkind
+//!   allocations are anomalously expensive, which is why the `autohbw`
+//!   baseline ends up ~8 % *slower* than DDR;
+//! * the hot working set fits comfortably in the MCDRAM cache, so cache mode
+//!   is the best approach (+47 % over DDR, +12.7 % over the framework's best
+//!   configuration).
+
+use crate::spec::{AppSpec, KernelSpec, ObjectSpec};
+use hmsim_common::{ByteSize, Nanos};
+
+/// The LULESH workload model.
+pub fn spec() -> AppSpec {
+    AppSpec {
+        name: "Lulesh",
+        version: "2.0",
+        language: "C++",
+        parallelism: "MPI+OpenMP",
+        lines_of_code: 7_240,
+        ranks: 64,
+        threads_per_rank: 4,
+        problem_size: "96^3, 50 its",
+        compilation_flags: "-g -O3 -xMIC-AVX512 -qopenmp -fno-inline",
+        fom_name: "z/s",
+        fom_work_per_iteration: 2_702.0,
+        alloc_statement_counts: "1/0/1/35/23/0/0",
+        iterations: 50,
+        instructions_per_iteration: 440_000_000,
+        misses_per_iteration: 8_000_000,
+        hot_working_set: ByteSize::from_mib(330),
+        small_allocs_per_second: 29.48,
+        init_time: Nanos::from_secs(1.0),
+        objects: vec![
+            // Cold-ish communication/boundary structures allocated first
+            // (they are what a FCFS policy fills MCDRAM with).
+            ObjectSpec::dynamic(
+                "symmetry_bc_arrays",
+                ByteSize::from_mib(60),
+                &["main", "initialize", "malloc"],
+                0.02,
+                0.10,
+            ),
+            ObjectSpec::dynamic(
+                "comm_buffers",
+                ByteSize::from_mib(50),
+                &["main", "CommSetup", "malloc"],
+                0.02,
+                0.20,
+            ),
+            ObjectSpec::dynamic(
+                "region_index_lists",
+                ByteSize::from_mib(80),
+                &["main", "CreateRegionIndexSets", "malloc"],
+                0.05,
+                0.40,
+            ),
+            // The big nodal and element field families.
+            ObjectSpec::dynamic(
+                "nodal_coords_velocities",
+                ByteSize::from_mib(220),
+                &["main", "allocate_state", "AllocateNodalPersistent", "malloc"],
+                0.24,
+                0.10,
+            ),
+            ObjectSpec::dynamic(
+                "element_fields",
+                ByteSize::from_mib(300),
+                &["main", "allocate_state", "AllocateElemPersistent", "malloc"],
+                0.44,
+                0.10,
+            ),
+            // Per-iteration temporaries: the LULESH signature behaviour.
+            ObjectSpec::dynamic(
+                "hourglass_temporaries",
+                ByteSize::from_mib(45),
+                &["main", "CalcHourglassControlForElems", "malloc"],
+                0.06,
+                0.05,
+            )
+            .per_iteration(8)
+            .with_min_size(ByteSize::from_mib(12)),
+            ObjectSpec::dynamic(
+                "strain_temporaries",
+                ByteSize::from_bytes(1_600_000),
+                &["main", "CalcKinematicsForElems", "malloc"],
+                0.0,
+                0.05,
+            )
+            .per_iteration(14)
+            .with_min_size(ByteSize::from_mib(1)),
+            ObjectSpec::dynamic(
+                "gradient_temporaries",
+                ByteSize::from_bytes(1_300_000),
+                &["main", "CalcMonotonicQGradientsForElems", "malloc"],
+                0.0,
+                0.05,
+            )
+            .per_iteration(10)
+            .with_min_size(ByteSize::from_mib(1)),
+            ObjectSpec::static_var("mesh_constants", ByteSize::from_mib(20), 0.03, 0.20),
+            ObjectSpec::stack("omp_thread_stacks", ByteSize::from_mib(4), 0.04, 0.60),
+        ],
+        kernels: vec![
+            KernelSpec {
+                name: "CalcForceForNodes",
+                instruction_share: 0.45,
+                miss_share: 0.45,
+                object_weights: &[
+                    ("nodal_coords_velocities", 0.40),
+                    ("element_fields", 0.35),
+                    ("hourglass_temporaries", 0.25),
+                ],
+            },
+            KernelSpec {
+                name: "CalcLagrangeElements",
+                instruction_share: 0.35,
+                miss_share: 0.40,
+                object_weights: &[
+                    ("element_fields", 0.55),
+                    ("strain_temporaries", 0.10),
+                    ("gradient_temporaries", 0.10),
+                    ("region_index_lists", 0.25),
+                ],
+            },
+            KernelSpec {
+                name: "CalcTimeConstraints",
+                instruction_share: 0.20,
+                miss_share: 0.15,
+                object_weights: &[("element_fields", 0.6), ("nodal_coords_velocities", 0.4)],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AllocTiming;
+
+    #[test]
+    fn spec_is_valid_and_matches_table1_scale() {
+        let s = spec();
+        s.validate().unwrap();
+        let mib = s.footprint().mib();
+        assert!((700.0..=950.0).contains(&mib), "footprint {mib} MiB");
+    }
+
+    #[test]
+    fn has_per_iteration_churn_in_the_memkind_anomaly_window() {
+        let s = spec();
+        let churn: Vec<_> = s
+            .objects
+            .iter()
+            .filter(|o| matches!(o.timing, AllocTiming::PerIteration { .. }))
+            .collect();
+        assert!(churn.len() >= 3, "LULESH must churn allocations per iteration");
+        assert!(
+            churn.iter().any(|o| o.size >= ByteSize::from_mib(1) && o.size < ByteSize::from_mib(2)),
+            "some churn sites fall in the 1-2 MiB anomaly window"
+        );
+    }
+
+    #[test]
+    fn biggest_field_family_exceeds_every_per_rank_budget() {
+        let s = spec();
+        let elem = s.objects.iter().find(|o| o.name == "element_fields").unwrap();
+        assert!(elem.size > ByteSize::from_mib(256));
+        assert!(s.miss_fraction("element_fields") > 0.25);
+    }
+
+    #[test]
+    fn cold_objects_are_allocated_before_hot_ones() {
+        // FCFS policies fill MCDRAM with the first allocations; LULESH's
+        // early allocations are cold, which is why numactl/autohbw gain little.
+        let s = spec();
+        let first_three: f64 = s.objects[..3].iter().map(|o| o.miss_share).sum();
+        assert!(first_three < 0.15, "early allocations are cold ({first_three})");
+    }
+}

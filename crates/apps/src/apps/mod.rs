@@ -1,0 +1,36 @@
+//! The eight application models of the paper's evaluation (Table I).
+//!
+//! Each module exposes a single `spec()` function returning the
+//! [`crate::AppSpec`] for that application. The inventories encode the
+//! placement-relevant structure described in §IV of the paper:
+//!
+//! * **HPCG** — a handful of large matrix/vector objects; the framework wins
+//!   by promoting the few hottest ones, and its best case needs only 2–3
+//!   objects in MCDRAM.
+//! * **LULESH** — per-iteration allocation churn (1–2 MiB temporaries) that
+//!   both misleads the advisor and makes memkind's allocation-cost anomaly
+//!   visible; cache mode wins.
+//! * **NAS BT** — the hot data was originally static and had to be converted
+//!   to dynamic allocations; `numactl -p 1` stays marginally ahead because it
+//!   also covers what remained static.
+//! * **miniFE** — a small hot working set (~80 MiB/rank) that fits easily;
+//!   the framework wins and the ΔFOM/MiB sweet spot sits at 128 MiB.
+//! * **CGPOP** — all (converted) dynamic objects already fit at 32 MiB/rank,
+//!   so more budget does not help; hot *static* data keeps `numactl` ahead.
+//! * **SNAP** — one 256 MiB buffer plus a few small chunks; the density
+//!   strategy fills only ~64 MiB at larger budgets, and register spills on
+//!   the stack (outside the framework's reach) keep `numactl` ahead.
+//! * **MAXW-DGTD** — a very high allocation rate with a hot set that fits in
+//!   the MCDRAM cache; cache mode is slightly ahead of the framework.
+//! * **GTC-P** — large streamed particle arrays that never fit plus small,
+//!   intensely and irregularly accessed grid arrays that do; the framework
+//!   wins and density-style selection is the natural fit.
+
+pub mod cgpop;
+pub mod gtcp;
+pub mod hpcg;
+pub mod lulesh;
+pub mod maxw_dgtd;
+pub mod minife;
+pub mod nas_bt;
+pub mod snap;

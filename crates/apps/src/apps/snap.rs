@@ -1,0 +1,159 @@
+//! SNAP 1.0.7 — discrete-ordinates neutral-particle transport proxy.
+//!
+//! 64 ranks × 4 threads, 32×64×64 cells, 20 outer iterations, ~1 GiB per
+//! rank. The placement-relevant structure from §IV of the paper:
+//!
+//! * the allocation inventory is "few small chunks of memory and one large
+//!   (256 Mbytes) buffer"; the density strategy promotes the small chunks
+//!   first and then the large buffer no longer fits, which is why its MCDRAM
+//!   usage stays at ~64 MiB even with 128/256 MiB budgets;
+//! * the `outer_src_calc` routine suffers register spilling; the spill slots
+//!   live on the *stack*, which only `numactl -p 1` (or cache mode) can move
+//!   to MCDRAM — the framework cannot, so its MIPS dips during that routine
+//!   (Figure 5) and `numactl` stays marginally ahead overall.
+
+use crate::spec::{AppSpec, KernelSpec, ObjectSpec};
+use hmsim_common::{ByteSize, Nanos};
+
+/// The SNAP workload model.
+pub fn spec() -> AppSpec {
+    AppSpec {
+        name: "SNAP",
+        version: "1.0.7",
+        language: "Fortran",
+        parallelism: "MPI+OpenMP",
+        lines_of_code: 8_583,
+        ranks: 64,
+        threads_per_rank: 4,
+        problem_size: "32x64x64, 20 its",
+        compilation_flags: "-g -O3 -xMIC-AVX512 -qno-opt-dynamic-align -fno-fnalias -qopenmp",
+        fom_name: "Iterations/s",
+        fom_work_per_iteration: 1.0,
+        alloc_statement_counts: "0/0/0/5/1/0/0",
+        iterations: 20,
+        instructions_per_iteration: 25_000_000_000,
+        misses_per_iteration: 310_000_000,
+        hot_working_set: ByteSize::from_mib(620),
+        small_allocs_per_second: 1_006.55,
+        init_time: Nanos::from_secs(8.0),
+        objects: vec![
+            // The small chunks: cross sections, geometry, scratch.
+            ObjectSpec::dynamic(
+                "cross_section_tables",
+                ByteSize::from_mib(24),
+                &["main", "initialize", "allocate", "malloc"],
+                0.08,
+                0.20,
+            ),
+            ObjectSpec::dynamic(
+                "geometry_arrays",
+                ByteSize::from_mib(20),
+                &["main", "initialize", "alloc_vectors", "malloc"],
+                0.06,
+                0.15,
+            ),
+            ObjectSpec::dynamic(
+                "sweep_scratch",
+                ByteSize::from_mib(20),
+                &["main", "octsweep", "alloc_workspace", "malloc"],
+                0.06,
+                0.10,
+            ),
+            // The one large buffer (256 MiB) the density strategy cannot fit
+            // after taking the small chunks.
+            ObjectSpec::dynamic(
+                "flux_moments_buffer",
+                ByteSize::from_mib(256),
+                &["main", "allocate_state", "allocate", "malloc"],
+                0.22,
+                0.10,
+            ),
+            ObjectSpec::dynamic(
+                "angular_flux",
+                ByteSize::from_mib(520),
+                &["main", "allocate_state", "alloc_matrix", "malloc"],
+                0.30,
+                0.10,
+            ),
+            ObjectSpec::static_var("control_commons", ByteSize::from_mib(100), 0.05, 0.15),
+            // Register-spill slots of outer_src_calc: stack storage the
+            // framework cannot promote.
+            ObjectSpec::stack("outer_src_spill_slots", ByteSize::from_mib(40), 0.23, 0.70),
+        ],
+        kernels: vec![
+            KernelSpec {
+                name: "octsweep",
+                instruction_share: 0.72,
+                miss_share: 0.62,
+                object_weights: &[
+                    ("angular_flux", 0.42),
+                    ("flux_moments_buffer", 0.28),
+                    ("sweep_scratch", 0.10),
+                    ("cross_section_tables", 0.12),
+                    ("geometry_arrays", 0.08),
+                ],
+            },
+            KernelSpec {
+                name: "outer_src_calc",
+                instruction_share: 0.28,
+                miss_share: 0.38,
+                object_weights: &[
+                    ("outer_src_spill_slots", 0.60),
+                    ("flux_moments_buffer", 0.25),
+                    ("control_commons", 0.15),
+                ],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_valid_and_matches_table1_scale() {
+        let s = spec();
+        s.validate().unwrap();
+        let mib = s.footprint().mib();
+        assert!((900.0..=1100.0).contains(&mib), "footprint {mib} MiB");
+    }
+
+    #[test]
+    fn small_chunks_total_about_64_mib_and_the_big_buffer_is_256() {
+        let s = spec();
+        let small: ByteSize = s
+            .objects
+            .iter()
+            .filter(|o| {
+                ["cross_section_tables", "geometry_arrays", "sweep_scratch"].contains(&o.name)
+            })
+            .map(|o| o.size)
+            .sum();
+        assert_eq!(small, ByteSize::from_mib(64));
+        let big = s.objects.iter().find(|o| o.name == "flux_moments_buffer").unwrap();
+        assert_eq!(big.size, ByteSize::from_mib(256));
+    }
+
+    #[test]
+    fn stack_spills_carry_a_large_irregular_share() {
+        let s = spec();
+        let spill = s.objects.iter().find(|o| o.name == "outer_src_spill_slots").unwrap();
+        assert_eq!(spill.kind, hmsim_heap::ObjectKind::Stack);
+        assert!(spill.miss_share >= 0.2);
+        assert!(spill.irregular >= 0.5);
+    }
+
+    #[test]
+    fn outer_src_calc_is_dominated_by_the_spill_slots() {
+        let s = spec();
+        let outer = s.kernels.iter().find(|k| k.name == "outer_src_calc").unwrap();
+        let spill_weight = outer
+            .object_weights
+            .iter()
+            .find(|(n, _)| *n == "outer_src_spill_slots")
+            .map(|(_, w)| *w)
+            .unwrap();
+        assert!(spill_weight >= 0.5);
+    }
+}

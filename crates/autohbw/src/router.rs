@@ -1,0 +1,370 @@
+//! Placement approaches: the framework and every baseline the paper compares
+//! against, behind one allocation-routing interface.
+
+use crate::interpose::AutoHbwMalloc;
+use hmsim_callstack::SiteKey;
+use hmsim_common::{Address, AddressRange, ByteSize, HmResult, Nanos, ObjectId, TierId};
+use hmsim_heap::ProcessHeap;
+use std::fmt;
+
+/// The placement approaches evaluated in Figure 4.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlacementApproach {
+    /// Everything in DDR (the reference).
+    DdrOnly,
+    /// `numactl -p 1`: place every allocation — static, stack and dynamic —
+    /// in MCDRAM first-come-first-served, falling back to DDR when exhausted.
+    NumactlPreferred,
+    /// memkind's `autohbw` library: promote every dynamic allocation whose
+    /// size falls in the window, FCFS until MCDRAM is exhausted.
+    AutoHbw {
+        /// Minimum size promoted (1 MiB in the paper's experiments).
+        threshold: ByteSize,
+    },
+    /// MCDRAM configured as a cache: placement is transparent, everything
+    /// stays in DDR from the allocator's point of view.
+    CacheMode,
+    /// The paper's framework: `auto-hbwmalloc` driven by an advisor report.
+    Framework,
+}
+
+impl fmt::Display for PlacementApproach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementApproach::DdrOnly => write!(f, "DDR"),
+            PlacementApproach::NumactlPreferred => write!(f, "MCDRAM*"),
+            PlacementApproach::AutoHbw { threshold } => write!(f, "autohbw/{threshold}"),
+            PlacementApproach::CacheMode => write!(f, "Cache"),
+            PlacementApproach::Framework => write!(f, "Framework"),
+        }
+    }
+}
+
+/// A policy that decides where every allocation goes during a run.
+pub enum AllocationRouter {
+    /// Simple tier-preference policies.
+    Simple {
+        /// Which approach this router implements.
+        approach: PlacementApproach,
+        /// Preferred tier for dynamic allocations meeting the criteria.
+        preferred: TierId,
+        /// Tier for static data.
+        static_tier_preferred: bool,
+        /// Tier for stack data.
+        stack_tier_preferred: bool,
+        /// Dynamic-allocation size window for promotion.
+        size_window: Option<(ByteSize, Option<ByteSize>)>,
+        /// Bytes promoted so far / HWM.
+        promoted: ByteSize,
+        /// High-water mark of promoted bytes.
+        promoted_hwm: ByteSize,
+    },
+    /// The framework's interposition library.
+    Interposed(Box<AutoHbwMalloc>),
+}
+
+impl AllocationRouter {
+    /// Build a router for an approach. `Framework` requires the interposition
+    /// library, so use [`AllocationRouter::framework`] for it.
+    pub fn simple(approach: PlacementApproach) -> AllocationRouter {
+        let (preferred, static_pref, stack_pref, window) = match &approach {
+            PlacementApproach::DdrOnly | PlacementApproach::CacheMode => {
+                (TierId::DDR, false, false, None)
+            }
+            PlacementApproach::NumactlPreferred => (TierId::MCDRAM, true, true, None),
+            PlacementApproach::AutoHbw { threshold } => {
+                (TierId::MCDRAM, false, false, Some((*threshold, None)))
+            }
+            PlacementApproach::Framework => {
+                panic!("use AllocationRouter::framework for the framework approach")
+            }
+        };
+        AllocationRouter::Simple {
+            approach,
+            preferred,
+            static_tier_preferred: static_pref,
+            stack_tier_preferred: stack_pref,
+            size_window: window,
+            promoted: ByteSize::ZERO,
+            promoted_hwm: ByteSize::ZERO,
+        }
+    }
+
+    /// Build the framework router from a configured interposition library.
+    pub fn framework(lib: AutoHbwMalloc) -> AllocationRouter {
+        AllocationRouter::Interposed(Box::new(lib))
+    }
+
+    /// The approach this router implements.
+    pub fn approach(&self) -> PlacementApproach {
+        match self {
+            AllocationRouter::Simple { approach, .. } => approach.clone(),
+            AllocationRouter::Interposed(_) => PlacementApproach::Framework,
+        }
+    }
+
+    /// Perform a dynamic allocation.
+    ///
+    /// `canonical_site` is the ASLR-independent allocation-site key the
+    /// caller already knows for this logical stack (the simulation runner
+    /// derives it through the same unwind/translate machinery the framework
+    /// uses); simple routers record it on the allocated object so that the
+    /// profiling trace and the advisor's report speak the same site language.
+    /// The interposed framework router ignores it and derives the site itself
+    /// (Algorithm 1).
+    pub fn malloc(
+        &mut self,
+        heap: &mut ProcessHeap,
+        size: ByteSize,
+        name: &str,
+        logical_stack: &[&str],
+        canonical_site: Option<&SiteKey>,
+        now: Nanos,
+    ) -> HmResult<(ObjectId, AddressRange, Nanos)> {
+        match self {
+            AllocationRouter::Interposed(lib) => {
+                lib.malloc(heap, size, name, logical_stack, now)
+            }
+            AllocationRouter::Simple {
+                approach,
+                preferred,
+                size_window,
+                promoted,
+                promoted_hwm,
+                ..
+            } => {
+                let wants_fast = *preferred == TierId::MCDRAM
+                    && size_window
+                        .map(|(lo, hi)| size >= lo && hi.map(|h| size <= h).unwrap_or(true))
+                        .unwrap_or(true);
+                let site = canonical_site.cloned().unwrap_or_else(|| {
+                    SiteKey::from_frames(logical_stack.iter().map(|f| format!("app!{f}+0x0")))
+                });
+                if wants_fast && heap.fits(TierId::MCDRAM, size) {
+                    let (id, range, base_cost) =
+                        heap.malloc(size, TierId::MCDRAM, name, Some(site), now)?;
+                    // The autohbw library forwards promoted allocations to
+                    // memkind's hbw_malloc, which costs more than glibc
+                    // (especially in the 1-2 MiB anomaly window). numactl,
+                    // by contrast, is pure page placement and pays nothing
+                    // extra, so the surcharge lives here and not in the heap.
+                    let surcharge = if matches!(approach, PlacementApproach::AutoHbw { .. }) {
+                        let extra = hmsim_heap::AllocCostModel::memkind().alloc_cost(size)
+                            - hmsim_heap::AllocCostModel::glibc().alloc_cost(size);
+                        hmsim_common::Nanos(extra.nanos().max(0.0))
+                    } else {
+                        Nanos::ZERO
+                    };
+                    *promoted += size;
+                    *promoted_hwm = (*promoted_hwm).max(*promoted);
+                    Ok((id, range, base_cost + surcharge))
+                } else {
+                    heap.malloc(size, TierId::DDR, name, Some(site), now)
+                }
+            }
+        }
+    }
+
+    /// Free a dynamic allocation.
+    pub fn free(
+        &mut self,
+        heap: &mut ProcessHeap,
+        addr: Address,
+        now: Nanos,
+    ) -> HmResult<(ByteSize, Nanos)> {
+        match self {
+            AllocationRouter::Interposed(lib) => lib.free(heap, addr, now),
+            AllocationRouter::Simple { promoted, .. } => {
+                let was_fast = heap
+                    .registry()
+                    .find_containing(addr)
+                    .map(|o| o.tier == TierId::MCDRAM)
+                    .unwrap_or(false);
+                let (size, cost) = heap.free(addr, now)?;
+                if was_fast {
+                    *promoted = promoted.saturating_sub(size);
+                }
+                Ok((size, cost))
+            }
+        }
+    }
+
+    /// Which tier a static variable's pages should go to, given its size and
+    /// the space remaining in MCDRAM.
+    pub fn static_tier(&self, heap: &ProcessHeap, size: ByteSize) -> TierId {
+        match self {
+            AllocationRouter::Simple {
+                static_tier_preferred: true,
+                ..
+            } if heap.fits(TierId::MCDRAM, size) => TierId::MCDRAM,
+            _ => TierId::DDR,
+        }
+    }
+
+    /// Which tier stack pages should go to.
+    pub fn stack_tier(&self, heap: &ProcessHeap, size: ByteSize) -> TierId {
+        match self {
+            AllocationRouter::Simple {
+                stack_tier_preferred: true,
+                ..
+            } if heap.fits(TierId::MCDRAM, size) => TierId::MCDRAM,
+            _ => TierId::DDR,
+        }
+    }
+
+    /// Bytes currently promoted to MCDRAM by this router (dynamic only).
+    pub fn promoted_hwm(&self) -> ByteSize {
+        match self {
+            AllocationRouter::Simple { promoted_hwm, .. } => *promoted_hwm,
+            AllocationRouter::Interposed(lib) => {
+                ByteSize::from_bytes(lib.stats().promoted_hwm)
+            }
+        }
+    }
+
+    /// The interposition overhead accumulated by this router.
+    pub fn interposition_overhead(&self) -> Nanos {
+        match self {
+            AllocationRouter::Simple { .. } => Nanos::ZERO,
+            AllocationRouter::Interposed(lib) => lib.stats().overhead(),
+        }
+    }
+
+    /// Access to the framework library's statistics, if this is the
+    /// framework router.
+    pub fn interposition_stats(&self) -> Option<crate::interpose::InterpositionStats> {
+        match self {
+            AllocationRouter::Interposed(lib) => Some(lib.stats()),
+            AllocationRouter::Simple { .. } => None,
+        }
+    }
+}
+
+/// Helper constructing routers for the paper's comparison set.
+pub struct RouterFactory;
+
+impl RouterFactory {
+    /// The `autohbw` baseline with the paper's 1 MiB threshold.
+    pub fn autohbw_1m() -> AllocationRouter {
+        AllocationRouter::simple(PlacementApproach::AutoHbw {
+            threshold: ByteSize::from_mib(1),
+        })
+    }
+
+    /// The `numactl -p 1` baseline.
+    pub fn numactl() -> AllocationRouter {
+        AllocationRouter::simple(PlacementApproach::NumactlPreferred)
+    }
+
+    /// The DDR-only reference.
+    pub fn ddr() -> AllocationRouter {
+        AllocationRouter::simple(PlacementApproach::DdrOnly)
+    }
+
+    /// The cache-mode configuration (placement-transparent).
+    pub fn cache_mode() -> AllocationRouter {
+        AllocationRouter::simple(PlacementApproach::CacheMode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_machine::MachineConfig;
+
+    fn heap_with_cap(cap_mib: u64) -> ProcessHeap {
+        let mut h = ProcessHeap::new(&MachineConfig::knl_7250()).unwrap();
+        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(cap_mib)).unwrap();
+        h
+    }
+
+    #[test]
+    fn ddr_router_never_touches_mcdram() {
+        let mut heap = heap_with_cap(1024);
+        let mut r = RouterFactory::ddr();
+        let (_, range, _) = r
+            .malloc(&mut heap, ByteSize::from_mib(100), "x", &["main", "malloc"], None, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(heap.page_table().tier_of(range.start), TierId::DDR);
+        assert_eq!(r.static_tier(&heap, ByteSize::from_mib(10)), TierId::DDR);
+        assert_eq!(r.promoted_hwm(), ByteSize::ZERO);
+        assert_eq!(r.approach(), PlacementApproach::DdrOnly);
+    }
+
+    #[test]
+    fn numactl_router_is_fcfs_until_exhausted() {
+        let mut heap = heap_with_cap(150);
+        let mut r = RouterFactory::numactl();
+        // Static data also prefers MCDRAM under numactl.
+        assert_eq!(r.static_tier(&heap, ByteSize::from_mib(32)), TierId::MCDRAM);
+        assert_eq!(r.stack_tier(&heap, ByteSize::from_mib(8)), TierId::MCDRAM);
+        let (_, r1, _) = r
+            .malloc(&mut heap, ByteSize::from_mib(100), "first", &["main", "malloc"], None, Nanos::ZERO)
+            .unwrap();
+        let (_, r2, _) = r
+            .malloc(&mut heap, ByteSize::from_mib(100), "second", &["main", "malloc"], None, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(heap.page_table().tier_of(r1.start), TierId::MCDRAM);
+        assert_eq!(heap.page_table().tier_of(r2.start), TierId::DDR, "MCDRAM exhausted");
+        assert_eq!(r.promoted_hwm(), ByteSize::from_mib(100));
+    }
+
+    #[test]
+    fn autohbw_router_honours_the_size_threshold() {
+        let mut heap = heap_with_cap(1024);
+        let mut r = RouterFactory::autohbw_1m();
+        let (_, small, _) = r
+            .malloc(&mut heap, ByteSize::from_kib(512), "small", &["main", "malloc"], None, Nanos::ZERO)
+            .unwrap();
+        let (_, big, _) = r
+            .malloc(&mut heap, ByteSize::from_mib(2), "big", &["main", "malloc"], None, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(heap.page_table().tier_of(small.start), TierId::DDR);
+        assert_eq!(heap.page_table().tier_of(big.start), TierId::MCDRAM);
+        // autohbw never promotes statics or stacks.
+        assert_eq!(r.static_tier(&heap, ByteSize::from_mib(1)), TierId::DDR);
+        assert_eq!(format!("{}", r.approach()), "autohbw/1MiB");
+    }
+
+    #[test]
+    fn cache_mode_router_keeps_everything_in_ddr() {
+        let mut heap = heap_with_cap(1024);
+        let mut r = RouterFactory::cache_mode();
+        let (_, range, _) = r
+            .malloc(&mut heap, ByteSize::from_mib(64), "x", &["main", "malloc"], None, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(heap.page_table().tier_of(range.start), TierId::DDR);
+    }
+
+    #[test]
+    fn free_releases_promoted_accounting() {
+        let mut heap = heap_with_cap(128);
+        let mut r = RouterFactory::numactl();
+        let (_, range, _) = r
+            .malloc(&mut heap, ByteSize::from_mib(100), "a", &["main", "malloc"], None, Nanos::ZERO)
+            .unwrap();
+        r.free(&mut heap, range.start, Nanos::from_millis(1.0)).unwrap();
+        // Space is reusable afterwards.
+        let (_, again, _) = r
+            .malloc(&mut heap, ByteSize::from_mib(100), "b", &["main", "malloc"], None, Nanos::from_millis(2.0))
+            .unwrap();
+        assert_eq!(heap.page_table().tier_of(again.start), TierId::MCDRAM);
+        assert_eq!(r.promoted_hwm(), ByteSize::from_mib(100));
+        assert!(r.interposition_stats().is_none());
+        assert_eq!(r.interposition_overhead(), Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "use AllocationRouter::framework")]
+    fn framework_requires_the_interposition_constructor() {
+        let _ = AllocationRouter::simple(PlacementApproach::Framework);
+    }
+
+    #[test]
+    fn display_names_match_the_figure_legend() {
+        assert_eq!(format!("{}", PlacementApproach::DdrOnly), "DDR");
+        assert_eq!(format!("{}", PlacementApproach::NumactlPreferred), "MCDRAM*");
+        assert_eq!(format!("{}", PlacementApproach::CacheMode), "Cache");
+        assert_eq!(format!("{}", PlacementApproach::Framework), "Framework");
+    }
+}

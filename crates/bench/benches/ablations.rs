@@ -1,0 +1,142 @@
+//! Ablation studies of the design choices called out in DESIGN.md:
+//!
+//! * exact 0/1 knapsack vs. the paper's greedy relaxations (cost and achieved
+//!   value) — demonstrating why the exact solver is impractical;
+//! * the allocation-site decision cache of Algorithm 1 on vs. off
+//!   (interposition cost per allocation);
+//! * PEBS sampling-period sweep (samples captured vs. attribution quality).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmsim_analysis::analyze_trace;
+use hmsim_callstack::{AslrLayout, ProgramImage, SiteCache, SiteDecision, Translator, Unwinder};
+use hmsim_common::{ByteSize, DetRng};
+use hmem_advisor::knapsack::{greedy_by_value, solve_exact, Item};
+
+fn knapsack_items(n: usize) -> Vec<Item> {
+    let mut rng = DetRng::new(42);
+    (0..n)
+        .map(|_| Item {
+            weight_pages: rng.uniform_range(1, 2_000),
+            value: rng.uniform_range(1_000, 10_000_000),
+        })
+        .collect()
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_knapsack");
+    group.sample_size(10);
+    for n in [20usize, 100, 300] {
+        let items = knapsack_items(n);
+        // Capacity: 256 MiB in pages.
+        let capacity = ByteSize::from_mib(256).pages();
+        let exact = solve_exact(&items, capacity);
+        let (_, greedy_value) = greedy_by_value(&items, capacity);
+        match exact {
+            Ok(sol) => println!(
+                "knapsack n={n}: exact value {} ({} DP cells) vs greedy value {} ({:.1}% of optimum)",
+                sol.total_value,
+                sol.cells_evaluated,
+                greedy_value,
+                100.0 * greedy_value as f64 / sol.total_value.max(1) as f64
+            ),
+            Err(e) => println!("knapsack n={n}: exact solver refused ({e}); greedy value {greedy_value}"),
+        }
+        group.bench_with_input(BenchmarkId::new("greedy", n), &items, |b, items| {
+            b.iter(|| greedy_by_value(items, capacity));
+        });
+        if n <= 100 {
+            group.bench_with_input(BenchmarkId::new("exact_dp", n), &items, |b, items| {
+                b.iter(|| solve_exact(items, capacity).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_site_cache(c: &mut Criterion) {
+    let image = ProgramImage::synthetic_hpc_app("bench.x", &["alloc_matrix"]);
+    let aslr = AslrLayout::randomized(&image, &mut DetRng::new(3));
+    let unwinder = Unwinder::new(image.clone(), aslr.clone());
+    let translator = Translator::new(image, aslr);
+    let stack = ["main", "alloc_matrix", "malloc"];
+
+    let mut group = c.benchmark_group("ablation_site_cache");
+    group.bench_function("inspection_with_cache", |b| {
+        let mut cache = SiteCache::default();
+        b.iter(|| {
+            let (raw, _) = unwinder.unwind(&stack).unwrap();
+            match cache.lookup(&raw) {
+                Some(decision) => decision.promote,
+                None => {
+                    let (translated, _) = translator.translate(&raw);
+                    let promote = !translated.is_empty();
+                    cache.annotate(&raw, SiteDecision { promote, allocator: 0 });
+                    promote
+                }
+            }
+        });
+    });
+    group.bench_function("inspection_without_cache", |b| {
+        b.iter(|| {
+            let (raw, _) = unwinder.unwind(&stack).unwrap();
+            let (translated, _) = translator.translate(&raw);
+            !translated.is_empty()
+        });
+    });
+    group.finish();
+}
+
+fn bench_sampling_period(c: &mut Criterion) {
+    use auto_hbwmalloc::RouterFactory;
+    use hmem_core::simrun::{AppRun, RunConfig};
+    use hmsim_apps::app_by_name;
+    use hmsim_profiler::ProfilerConfig;
+
+    println!("\n=== Ablation: PEBS sampling period (miniFE) ===");
+    let spec = app_by_name("miniFE").unwrap();
+    for period in [4_001u64, 37_589, 300_007] {
+        let run = AppRun::new(
+            &spec,
+            RunConfig::flat(ByteSize::from_mib(256))
+                .with_iterations(5)
+                .with_profiling(ProfilerConfig::dense(period)),
+        )
+        .execute(RouterFactory::ddr())
+        .unwrap();
+        let trace = run.trace.as_ref().unwrap();
+        let report = analyze_trace(trace);
+        let top = report.objects.first().map(|o| o.name.clone()).unwrap_or_default();
+        println!(
+            "period {period:>7}: {} samples, overhead {:.3}%, hottest object: {} ({} attributed misses)",
+            trace.sample_count(),
+            run.monitoring_overhead * 100.0,
+            top,
+            report.objects.first().map(|o| o.llc_misses).unwrap_or(0),
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_sampling_period");
+    group.sample_size(10);
+    for period in [4_001u64, 37_589] {
+        group.bench_with_input(BenchmarkId::new("profiled_run", period), &period, |b, &p| {
+            b.iter(|| {
+                AppRun::new(
+                    &spec,
+                    RunConfig::flat(ByteSize::from_mib(256))
+                        .with_iterations(3)
+                        .with_profiling(ProfilerConfig::dense(p)),
+                )
+                .execute(RouterFactory::ddr())
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_knapsack, bench_site_cache, bench_sampling_period
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 1: STREAM Triad bandwidth as a function of the number of cores for
+//! DDR, flat-mode MCDRAM and cache-mode MCDRAM.
+//!
+//! The bench measures the cost of evaluating the bandwidth model itself and,
+//! more importantly, prints the regenerated series so the figure can be
+//! compared against the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmsim_apps::StreamBenchmark;
+use hmsim_common::TierId;
+use hmsim_machine::MachineConfig;
+
+fn bench_fig1(c: &mut Criterion) {
+    let machine = MachineConfig::knl_7250();
+    let stream = StreamBenchmark::default();
+
+    // Print the regenerated figure once.
+    println!("\n=== Figure 1: STREAM Triad bandwidth (GB/s) ===");
+    println!("{:>6} {:>10} {:>14} {:>15}", "cores", "DDR", "MCDRAM/Flat", "MCDRAM/Cache");
+    for (cores, ddr, flat, cache) in stream.figure1(&machine) {
+        println!("{cores:>6} {ddr:>10.1} {flat:>14.1} {cache:>15.1}");
+    }
+
+    let mut group = c.benchmark_group("fig1_stream");
+    for cores in [1u32, 8, 68] {
+        group.bench_with_input(BenchmarkId::new("ddr", cores), &cores, |b, &cores| {
+            let s = StreamBenchmark {
+                core_counts: vec![cores],
+                ..StreamBenchmark::default()
+            };
+            b.iter(|| s.run_flat(&machine, TierId::DDR));
+        });
+        group.bench_with_input(BenchmarkId::new("mcdram_flat", cores), &cores, |b, &cores| {
+            let s = StreamBenchmark {
+                core_counts: vec![cores],
+                ..StreamBenchmark::default()
+            };
+            b.iter(|| s.run_flat(&machine, TierId::MCDRAM));
+        });
+        group.bench_with_input(BenchmarkId::new("mcdram_cache", cores), &cores, |b, &cores| {
+            let s = StreamBenchmark {
+                core_counts: vec![cores],
+                ..StreamBenchmark::default()
+            };
+            b.iter(|| s.run_cache_mode(&machine));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 3: per-allocation cost of call-stack unwinding and of call-stack
+//! translation as a function of the call-stack depth.
+//!
+//! Two things are measured: the *actual* time of the simulated unwinder and
+//! translator (whose work scales with depth exactly like the real machinery —
+//! translation does strictly more work per frame), and the calibrated cost
+//! model used inside the simulation is printed for comparison with the
+//! paper's figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmsim_callstack::{AslrLayout, CallstackCostModel, ProgramImage, Translator, Unwinder};
+use hmsim_common::DetRng;
+
+const FRAME_POOL: &[&str] = &[
+    "main",
+    "initialize",
+    "allocate_state",
+    "spmv",
+    "symgs",
+    "dot",
+    "MPI_Allreduce",
+    "__kmp_fork_call",
+];
+
+fn machinery() -> (Unwinder, Translator) {
+    let image = ProgramImage::synthetic_hpc_app("bench.x", &["spmv", "symgs", "dot"]);
+    let aslr = AslrLayout::randomized(&image, &mut DetRng::new(99));
+    (
+        Unwinder::new(image.clone(), aslr.clone()),
+        Translator::new(image, aslr),
+    )
+}
+
+fn logical_stack(depth: usize) -> Vec<&'static str> {
+    let mut stack: Vec<&'static str> = FRAME_POOL.iter().copied().cycle().take(depth - 1).collect();
+    stack.push("malloc");
+    stack
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    println!("\n=== Figure 3: modelled call-stack costs (us) ===");
+    println!("{:>6} {:>10} {:>11}", "depth", "unwind", "translate");
+    for (depth, unwind, translate) in CallstackCostModel::knl_7250().figure3_series(9) {
+        println!("{depth:>6} {unwind:>10.2} {translate:>11.2}");
+    }
+
+    let (unwinder, translator) = machinery();
+    let mut group = c.benchmark_group("fig3_callstack");
+    for depth in [1usize, 3, 6, 9] {
+        let stack = logical_stack(depth);
+        group.bench_with_input(BenchmarkId::new("unwind", depth), &depth, |b, _| {
+            b.iter(|| unwinder.unwind(&stack).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("translate", depth), &depth, |b, _| {
+            let (raw, _) = unwinder.unwind(&stack).unwrap();
+            b.iter(|| translator.translate(&raw));
+        });
+        group.bench_with_input(BenchmarkId::new("synthetic_walk", depth), &depth, |b, &d| {
+            b.iter(|| unwinder.walk_synthetic_frames(d));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 4: the placement-approach comparison for every application —
+//! figure of merit, MCDRAM high-water mark and ΔFOM/MByte per configuration.
+//!
+//! Running the whole 8-app grid inside Criterion's measurement loop would be
+//! prohibitively slow, so the bench (a) regenerates and prints the complete
+//! grid once (this is the artefact to compare against the paper), and (b)
+//! benchmarks the end-to-end four-stage pipeline for two representative
+//! applications so pipeline-cost regressions are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmem_core::experiment::{run_full_evaluation, ExperimentConfig};
+use hmem_core::pipeline::FrameworkPipeline;
+use hmem_core::report;
+use hmsim_apps::app_by_name;
+use hmsim_common::ByteSize;
+use hmem_advisor::SelectionStrategy;
+
+fn bench_fig4(c: &mut Criterion) {
+    // Regenerate the full grid once and print it.
+    let config = ExperimentConfig {
+        iterations_override: Some(8),
+        ..Default::default()
+    };
+    println!("\n=== Figure 4: placement approaches per application ===");
+    for exp in run_full_evaluation(&config) {
+        println!("{}", report::render_app_experiment(&exp));
+    }
+
+    // Benchmark the pipeline cost for two representative applications.
+    let mut group = c.benchmark_group("fig4_pipeline");
+    group.sample_size(10);
+    for app in ["miniFE", "HPCG"] {
+        let spec = app_by_name(app).unwrap();
+        group.bench_with_input(BenchmarkId::new("framework_pipeline", app), &spec, |b, spec| {
+            b.iter(|| {
+                FrameworkPipeline::new(
+                    ByteSize::from_mib(128),
+                    SelectionStrategy::Misses {
+                        threshold_percent: 0.0,
+                    },
+                )
+                .with_iterations(5)
+                .run(spec)
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table I: per-application characteristics measured by the profiler
+//! (allocation rates, memory high-water marks, monitoring overhead, PEBS
+//! sample counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmem_core::figures::{table1, table1_row};
+use hmem_core::report::render_table1;
+use hmsim_apps::app_by_name;
+
+fn bench_table1(c: &mut Criterion) {
+    let rows = table1(Some(5)).expect("table 1 generation succeeds");
+    println!("\n=== Table I: application characteristics (measured) ===");
+    println!("{}", render_table1(&rows));
+
+    let mut group = c.benchmark_group("table1_profiled_run");
+    group.sample_size(10);
+    for app in ["miniFE", "SNAP"] {
+        let spec = app_by_name(app).unwrap();
+        group.bench_with_input(BenchmarkId::new("profile", app), &spec, |b, spec| {
+            b.iter(|| table1_row(spec, Some(3)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

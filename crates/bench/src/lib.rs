@@ -1,0 +1,17 @@
+//! # hmsim-bench
+//!
+//! Criterion benchmark harness of the reproduction. Each bench target
+//! regenerates the data behind one table or figure of the paper and prints
+//! the series it measured (so `cargo bench` doubles as the
+//! evaluation-reproduction driver):
+//!
+//! | bench target | paper artefact |
+//! |---|---|
+//! | `fig1_stream` | Figure 1 — STREAM Triad bandwidth vs. cores |
+//! | `fig3_callstack` | Figure 3 — unwind vs. translation cost vs. depth |
+//! | `table1_characteristics` | Table I — per-application characteristics |
+//! | `fig4_placement` | Figure 4 — FOM / MCDRAM HWM / ΔFOM-per-MiB grid |
+//! | `fig5_folding` | Figure 5 — SNAP folded-iteration timeline |
+//! | `ablations` | design-choice ablations (exact knapsack vs greedy, site cache, sampling period) |
+
+pub use hmem_core as core;

@@ -1,0 +1,140 @@
+//! Address Space Layout Randomisation.
+//!
+//! ASLR is the reason the interposition library cannot simply compare raw
+//! return addresses against the advisor's report: every process run loads
+//! shared libraries at different addresses, so raw call-stacks must be
+//! translated back to module-relative (link-time) form at run time — the
+//! expensive step measured in Figure 3 of the paper.
+
+use crate::module::ProgramImage;
+use hmsim_common::{Address, DetRng};
+
+/// Per-module load slides for one process instance.
+#[derive(Clone, Debug)]
+pub struct AslrLayout {
+    /// Slide applied to each module, indexed like the image's modules.
+    slides: Vec<u64>,
+}
+
+impl AslrLayout {
+    /// No randomisation: runtime addresses equal link-time addresses.
+    pub fn identity(image: &ProgramImage) -> Self {
+        AslrLayout {
+            slides: vec![0; image.len()],
+        }
+    }
+
+    /// Randomised layout: each module gets an independent, page-aligned slide
+    /// in the 47-bit canonical user address range, as Linux does for PIE
+    /// executables and shared objects.
+    pub fn randomized(image: &ProgramImage, rng: &mut DetRng) -> Self {
+        let slides = (0..image.len())
+            .map(|_| {
+                // 28 random bits of entropy, page aligned — enough to make
+                // collisions with link addresses implausible without
+                // overflowing the simulated address space.
+                rng.uniform_range(1, 1 << 28) << 12
+            })
+            .collect();
+        AslrLayout { slides }
+    }
+
+    /// The slide of module `idx`.
+    pub fn slide(&self, idx: usize) -> u64 {
+        self.slides.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Convert a link-time address inside module `idx` to its runtime
+    /// address under this layout.
+    pub fn to_runtime(&self, idx: usize, link_addr: Address) -> Address {
+        Address(link_addr.value().wrapping_add(self.slide(idx)))
+    }
+
+    /// Convert a runtime address back to link-time form, given the module it
+    /// belongs to.
+    pub fn to_link(&self, idx: usize, runtime_addr: Address) -> Address {
+        Address(runtime_addr.value().wrapping_sub(self.slide(idx)))
+    }
+
+    /// Find which module a runtime address belongs to by reversing every
+    /// slide and checking module bounds — this linear search over modules is
+    /// part of what makes translation more expensive than unwinding.
+    pub fn module_of_runtime(&self, image: &ProgramImage, addr: Address) -> Option<usize> {
+        (0..image.len()).find(|idx| {
+            let link = self.to_link(*idx, addr);
+            image
+                .module(*idx)
+                .map(|m| m.contains_link_address(link))
+                .unwrap_or(false)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_common::DetRng;
+
+    fn image() -> ProgramImage {
+        ProgramImage::synthetic_hpc_app("app.x", &["kernel"])
+    }
+
+    #[test]
+    fn identity_layout_is_a_noop() {
+        let img = image();
+        let aslr = AslrLayout::identity(&img);
+        let a = Address(0x400123);
+        assert_eq!(aslr.to_runtime(0, a), a);
+        assert_eq!(aslr.to_link(0, a), a);
+        assert_eq!(aslr.slide(0), 0);
+    }
+
+    #[test]
+    fn randomized_layout_round_trips() {
+        let img = image();
+        let mut rng = DetRng::new(42);
+        let aslr = AslrLayout::randomized(&img, &mut rng);
+        for idx in 0..img.len() {
+            let link = img.module(idx).unwrap().link_base.offset(0x40);
+            let rt = aslr.to_runtime(idx, link);
+            assert_eq!(aslr.to_link(idx, rt), link);
+            if idx > 0 {
+                // Distinct modules almost surely get distinct slides.
+                assert_ne!(aslr.slide(idx), aslr.slide(idx - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_layout_is_deterministic_per_seed() {
+        let img = image();
+        let a = AslrLayout::randomized(&img, &mut DetRng::new(7));
+        let b = AslrLayout::randomized(&img, &mut DetRng::new(7));
+        let c = AslrLayout::randomized(&img, &mut DetRng::new(8));
+        assert_eq!(a.slides, b.slides);
+        assert_ne!(a.slides, c.slides);
+    }
+
+    #[test]
+    fn module_of_runtime_reverses_slides() {
+        let img = image();
+        let mut rng = DetRng::new(3);
+        let aslr = AslrLayout::randomized(&img, &mut rng);
+        let (libc_idx, libc) = img.by_name("libc.so.6").unwrap();
+        let malloc = libc.symbols.by_name("malloc").unwrap();
+        let runtime = aslr.to_runtime(libc_idx, libc.link_base.offset(malloc.offset + 8));
+        assert_eq!(aslr.module_of_runtime(&img, runtime), Some(libc_idx));
+        // An address far away from every module maps to nothing.
+        assert_eq!(aslr.module_of_runtime(&img, Address(0xffff_ffff_f000)), None);
+    }
+
+    #[test]
+    fn slides_are_page_aligned() {
+        let img = image();
+        let aslr = AslrLayout::randomized(&img, &mut DetRng::new(5));
+        for i in 0..img.len() {
+            assert_eq!(aslr.slide(i) % 4096, 0);
+            assert!(aslr.slide(i) > 0);
+        }
+    }
+}

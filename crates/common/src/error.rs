@@ -1,0 +1,119 @@
+//! The shared error type used across the workspace.
+
+use std::fmt;
+
+/// Result alias using [`HmError`].
+pub type HmResult<T> = Result<T, HmError>;
+
+/// Errors produced anywhere in the hybrid-memory framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HmError {
+    /// A configuration value was missing, malformed or inconsistent.
+    Config(String),
+    /// A memory tier ran out of capacity and the request could not fall back.
+    OutOfMemory {
+        /// Human-readable tier name.
+        tier: String,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available in that tier.
+        available: u64,
+    },
+    /// An address was not backed by any live allocation.
+    UnknownAddress(u64),
+    /// A trace file or report could not be parsed.
+    Parse {
+        /// Line number (1-based) where the problem was found, if known.
+        line: Option<usize>,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error, stringified (keeps the error type `Clone`/`PartialEq`).
+    Io(String),
+    /// A request referenced an entity (object, site, tier, app) that does not
+    /// exist.
+    NotFound(String),
+    /// An operation was attempted in an invalid state (e.g. freeing an
+    /// address twice, finishing a phase that was never started).
+    InvalidState(String),
+}
+
+impl fmt::Display for HmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmError::Config(msg) => write!(f, "configuration error: {msg}"),
+            HmError::OutOfMemory {
+                tier,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of memory in tier {tier}: requested {requested} bytes, {available} available"
+            ),
+            HmError::UnknownAddress(addr) => {
+                write!(f, "address 0x{addr:x} does not belong to any live allocation")
+            }
+            HmError::Parse { line, message } => match line {
+                Some(line) => write!(f, "parse error at line {line}: {message}"),
+                None => write!(f, "parse error: {message}"),
+            },
+            HmError::Io(msg) => write!(f, "I/O error: {msg}"),
+            HmError::NotFound(what) => write!(f, "not found: {what}"),
+            HmError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HmError {}
+
+impl From<std::io::Error> for HmError {
+    fn from(e: std::io::Error) -> Self {
+        HmError::Io(e.to_string())
+    }
+}
+
+impl HmError {
+    /// Convenience constructor for parse errors without a line number.
+    pub fn parse(message: impl Into<String>) -> Self {
+        HmError::Parse {
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for parse errors at a specific line.
+    pub fn parse_at(line: usize, message: impl Into<String>) -> Self {
+        HmError::Parse {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = HmError::OutOfMemory {
+            tier: "MCDRAM".to_string(),
+            requested: 1024,
+            available: 512,
+        };
+        let s = e.to_string();
+        assert!(s.contains("MCDRAM"));
+        assert!(s.contains("1024"));
+        assert!(s.contains("512"));
+
+        assert!(HmError::UnknownAddress(0xdead).to_string().contains("0xdead"));
+        assert!(HmError::parse_at(7, "bad field").to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: HmError = io.into();
+        assert!(matches!(e, HmError::Io(_)));
+    }
+}

@@ -1,0 +1,207 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component of the simulator (PEBS sample jitter, address
+//! pattern generation, ASLR slides, workload irregularity) draws from a
+//! [`DetRng`] derived from a master seed and a textual *stream label*. Two
+//! runs with the same master seed therefore produce identical traces,
+//! identical advisor decisions and identical figures, while distinct
+//! components never share a stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic random number generator with labelled sub-streams.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Create a generator from a master seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The master seed this generator (or its ancestors) was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent sub-stream identified by `label`.
+    ///
+    /// The derivation is a simple FNV-1a hash of the label folded into the
+    /// master seed; it only needs to be stable and well-spread, not
+    /// cryptographic.
+    pub fn derive(&self, label: &str) -> DetRng {
+        let mut h: u64 = 0xcbf29ce484222325 ^ self.seed.rotate_left(17);
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        DetRng {
+            seed: h,
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Approximately normally distributed value (Irwin–Hall sum of 12
+    /// uniforms), mean `mean`, standard deviation `std`.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        let sum: f64 = (0..12).map(|_| self.inner.gen::<f64>()).sum();
+        mean + (sum - 6.0) * std
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.inner.gen::<f64>();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Pick a uniformly random element index weighted by `weights`.
+    /// Returns `None` if the weights are empty or all zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut x = self.inner.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if x < w {
+                return Some(i);
+            }
+            x -= w;
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights.iter().rposition(|w| *w > 0.0)
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ_by_label() {
+        let root = DetRng::new(7);
+        let mut a = root.derive("pebs");
+        let mut b = root.derive("aslr");
+        let mut c = root.derive("pebs");
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_ne!(xs, ys);
+        assert_eq!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_range_stays_in_bounds() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            let v = r.uniform_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(3);
+        assert!(!(0..100).map(|_| r.chance(0.0)).any(|b| b));
+        assert!((0..100).map(|_| r.chance(1.0)).all(|b| b));
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let mut r = DetRng::new(11);
+        for _ in 0..200 {
+            let idx = r.weighted_index(&[0.0, 1.0, 0.0]).unwrap();
+            assert_eq!(idx, 1);
+        }
+        assert!(r.weighted_index(&[]).is_none());
+        assert!(r.weighted_index(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn normal_is_centered() {
+        let mut r = DetRng::new(5);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.normal(10.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive_with_right_mean() {
+        let mut r = DetRng::new(5);
+        let n = 20_000;
+        let vals: Vec<f64> = (0..n).map(|_| r.exponential(4.0)).collect();
+        assert!(vals.iter().all(|v| *v >= 0.0));
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

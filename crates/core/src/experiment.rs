@@ -1,0 +1,315 @@
+//! The Figure-4 experiment grid.
+//!
+//! For every application the paper evaluates the framework under four MCDRAM
+//! budgets and four selection strategies and compares against four
+//! approaches that need no profiling: DDR-only, `numactl -p 1`, `autohbw`
+//! with a 1 MiB threshold, and MCDRAM cache mode. This module drives exactly
+//! that grid and computes, per configuration, the figure of merit, the MCDRAM
+//! high-water mark and the ΔFOM/MByte efficiency metric — the three columns
+//! of Figure 4.
+
+use crate::metrics::delta_fom_per_mbyte;
+use crate::pipeline::FrameworkPipeline;
+use crate::simrun::{AppRun, RunConfig};
+use auto_hbwmalloc::RouterFactory;
+use hmsim_apps::{all_apps, AppSpec};
+use hmsim_common::{ByteSize, HmResult};
+use hmem_advisor::SelectionStrategy;
+
+/// Grid configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Per-rank MCDRAM budgets explored for MPI applications.
+    pub budgets: Vec<ByteSize>,
+    /// Budgets explored for single-process (OpenMP-only) applications.
+    pub single_process_budgets: Vec<ByteSize>,
+    /// Selection strategies (the paper's four).
+    pub strategies: Vec<SelectionStrategy>,
+    /// Iteration override to keep the grid fast (None = full length).
+    pub iterations_override: Option<u32>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            budgets: vec![
+                ByteSize::from_mib(32),
+                ByteSize::from_mib(64),
+                ByteSize::from_mib(128),
+                ByteSize::from_mib(256),
+            ],
+            single_process_budgets: vec![
+                ByteSize::from_mib(32),
+                ByteSize::from_mib(256),
+                ByteSize::from_gib(2),
+                ByteSize::from_gib(16),
+            ],
+            strategies: SelectionStrategy::paper_set(),
+            iterations_override: Some(10),
+            seed: 0xF1607,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The budgets applicable to one application (MPI apps get per-rank
+    /// budgets, the OpenMP-only BT gets the 32 MiB – 16 GiB sweep).
+    pub fn budgets_for(&self, spec: &AppSpec) -> &[ByteSize] {
+        if spec.ranks == 1 {
+            &self.single_process_budgets
+        } else {
+            &self.budgets
+        }
+    }
+
+    /// The MCDRAM share one rank gets under FCFS policies (`numactl`,
+    /// `autohbw`): the 16 GiB divided evenly among ranks.
+    pub fn fcfs_share(&self, spec: &AppSpec) -> ByteSize {
+        ByteSize::from_gib(16) / u64::from(spec.ranks.max(1))
+    }
+}
+
+/// One configuration's outcome.
+#[derive(Clone, Debug)]
+pub struct ApproachResult {
+    /// Label as it appears in the figure legend (e.g. `"Density/128MiB"`,
+    /// `"Cache"`, `"MCDRAM*"`).
+    pub label: String,
+    /// Figure of merit.
+    pub fom: f64,
+    /// MCDRAM high-water mark per process (dynamic allocations).
+    pub mcdram_hwm: ByteSize,
+    /// Fast memory charged to this configuration for the efficiency metric
+    /// (the budget for framework runs, 16 GiB for cache/numactl), in MiB.
+    pub charged_mcdram_mib: f64,
+    /// ΔFOM/MByte relative to the DDR reference.
+    pub dfom_per_mbyte: f64,
+    /// Whether this row is one of the framework configurations (as opposed
+    /// to a baseline).
+    pub is_framework: bool,
+}
+
+/// The full Figure-4 data for one application.
+#[derive(Clone, Debug)]
+pub struct AppExperiment {
+    /// Application name.
+    pub app: String,
+    /// Name of its figure of merit.
+    pub fom_name: String,
+    /// The DDR-only reference FOM.
+    pub ddr_fom: f64,
+    /// Every configuration (framework grid + baselines).
+    pub results: Vec<ApproachResult>,
+}
+
+impl AppExperiment {
+    /// The best framework configuration.
+    pub fn best_framework(&self) -> Option<&ApproachResult> {
+        self.results
+            .iter()
+            .filter(|r| r.is_framework)
+            .max_by(|a, b| a.fom.partial_cmp(&b.fom).expect("no NaN"))
+    }
+
+    /// A named baseline result.
+    pub fn baseline(&self, label: &str) -> Option<&ApproachResult> {
+        self.results
+            .iter()
+            .find(|r| !r.is_framework && r.label == label)
+    }
+
+    /// The overall winner.
+    pub fn winner(&self) -> Option<&ApproachResult> {
+        self.results
+            .iter()
+            .max_by(|a, b| a.fom.partial_cmp(&b.fom).expect("no NaN"))
+    }
+
+    /// Speedup of the best framework configuration over DDR.
+    pub fn framework_speedup(&self) -> f64 {
+        self.best_framework()
+            .map(|r| r.fom / self.ddr_fom.max(1e-12))
+            .unwrap_or(1.0)
+    }
+}
+
+/// Run the whole grid for one application.
+pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult<AppExperiment> {
+    let mut results = Vec::new();
+
+    let apply_iters = |mut cfg: RunConfig| {
+        if let Some(it) = config.iterations_override {
+            cfg = cfg.with_iterations(it);
+        }
+        cfg.seed = config.seed;
+        cfg
+    };
+
+    // DDR reference.
+    let ddr = AppRun::new(spec, apply_iters(RunConfig::flat(config.fcfs_share(spec))))
+        .execute(RouterFactory::ddr())?;
+    let ddr_fom = ddr.fom;
+
+    // Framework grid: strategies × budgets.
+    for strategy in &config.strategies {
+        for budget in config.budgets_for(spec) {
+            let mut pipeline = FrameworkPipeline::new(*budget, *strategy);
+            pipeline.seed = config.seed;
+            if let Some(it) = config.iterations_override {
+                pipeline = pipeline.with_iterations(it);
+            }
+            let outcome = pipeline.run(spec)?;
+            let mib = budget.mib();
+            results.push(ApproachResult {
+                label: format!("{}/{}", strategy, budget),
+                fom: outcome.result.fom,
+                mcdram_hwm: outcome.result.mcdram_hwm,
+                charged_mcdram_mib: mib,
+                dfom_per_mbyte: delta_fom_per_mbyte(outcome.result.fom, ddr_fom, mib),
+                is_framework: true,
+            });
+        }
+    }
+
+    // Baselines.
+    let full_mcdram_mib = ByteSize::from_gib(16).mib();
+    let share = config.fcfs_share(spec);
+
+    let numactl = AppRun::new(spec, apply_iters(RunConfig::flat(share)))
+        .execute(RouterFactory::numactl())?;
+    results.push(ApproachResult {
+        label: "MCDRAM*".to_string(),
+        fom: numactl.fom,
+        mcdram_hwm: numactl.mcdram_hwm,
+        charged_mcdram_mib: full_mcdram_mib,
+        dfom_per_mbyte: delta_fom_per_mbyte(numactl.fom, ddr_fom, full_mcdram_mib),
+        is_framework: false,
+    });
+
+    let autohbw = AppRun::new(spec, apply_iters(RunConfig::flat(share)))
+        .execute(RouterFactory::autohbw_1m())?;
+    results.push(ApproachResult {
+        label: "autohbw/1m".to_string(),
+        fom: autohbw.fom,
+        mcdram_hwm: autohbw.mcdram_hwm,
+        charged_mcdram_mib: 0.0,
+        dfom_per_mbyte: 0.0,
+        is_framework: false,
+    });
+
+    let cache = AppRun::new(spec, apply_iters(RunConfig::cache_mode()))
+        .execute(RouterFactory::cache_mode())?;
+    results.push(ApproachResult {
+        label: "Cache".to_string(),
+        fom: cache.fom,
+        mcdram_hwm: ByteSize::ZERO,
+        charged_mcdram_mib: full_mcdram_mib,
+        dfom_per_mbyte: delta_fom_per_mbyte(cache.fom, ddr_fom, full_mcdram_mib),
+        is_framework: false,
+    });
+
+    results.push(ApproachResult {
+        label: "DDR".to_string(),
+        fom: ddr_fom,
+        mcdram_hwm: ByteSize::ZERO,
+        charged_mcdram_mib: 0.0,
+        dfom_per_mbyte: 0.0,
+        is_framework: false,
+    });
+
+    Ok(AppExperiment {
+        app: spec.name.to_string(),
+        fom_name: spec.fom_name.to_string(),
+        ddr_fom,
+        results,
+    })
+}
+
+/// Run the grid for every application, in parallel (one worker per app).
+pub fn run_full_evaluation(config: &ExperimentConfig) -> Vec<AppExperiment> {
+    let apps = all_apps();
+    let mut out: Vec<Option<AppExperiment>> = vec![None; apps.len()];
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = apps
+            .iter()
+            .map(|spec| {
+                let cfg = config.clone();
+                scope.spawn(move |_| run_app_experiment(spec, &cfg))
+            })
+            .collect();
+        for (slot, handle) in out.iter_mut().zip(handles) {
+            if let Ok(Ok(result)) = handle.join() {
+                *slot = Some(result);
+            }
+        }
+    })
+    .expect("experiment workers do not panic");
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_apps::app_by_name;
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig {
+            budgets: vec![ByteSize::from_mib(64), ByteSize::from_mib(256)],
+            single_process_budgets: vec![ByteSize::from_mib(256), ByteSize::from_gib(16)],
+            strategies: vec![
+                SelectionStrategy::Density,
+                SelectionStrategy::Misses {
+                    threshold_percent: 0.0,
+                },
+            ],
+            iterations_override: Some(6),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn grid_contains_all_configurations() {
+        let spec = app_by_name("miniFE").unwrap();
+        let exp = run_app_experiment(&spec, &quick_config()).unwrap();
+        // 2 strategies × 2 budgets + 4 baselines (MCDRAM*, autohbw, Cache, DDR).
+        assert_eq!(exp.results.len(), 2 * 2 + 4);
+        assert!(exp.best_framework().is_some());
+        assert!(exp.baseline("Cache").is_some());
+        assert!(exp.baseline("MCDRAM*").is_some());
+        assert!(exp.baseline("DDR").unwrap().fom > 0.0);
+        assert!((exp.baseline("DDR").unwrap().fom - exp.ddr_fom).abs() < 1e-9);
+    }
+
+    #[test]
+    fn framework_wins_for_minife() {
+        let spec = app_by_name("miniFE").unwrap();
+        let exp = run_app_experiment(&spec, &quick_config()).unwrap();
+        let winner = exp.winner().unwrap();
+        assert!(winner.is_framework, "winner was {}", winner.label);
+        assert!(exp.framework_speedup() > 1.3);
+    }
+
+    #[test]
+    fn budgets_for_respects_single_process_apps() {
+        let cfg = quick_config();
+        let bt = app_by_name("BT").unwrap();
+        let hpcg = app_by_name("HPCG").unwrap();
+        assert_eq!(cfg.budgets_for(&bt).len(), 2);
+        assert_eq!(cfg.budgets_for(&bt)[1], ByteSize::from_gib(16));
+        assert_eq!(cfg.budgets_for(&hpcg)[0], ByteSize::from_mib(64));
+        assert_eq!(cfg.fcfs_share(&hpcg), ByteSize::from_mib(256));
+        assert_eq!(cfg.fcfs_share(&bt), ByteSize::from_gib(16));
+    }
+
+    #[test]
+    fn efficiency_metric_is_consistent_with_fom() {
+        let spec = app_by_name("miniFE").unwrap();
+        let exp = run_app_experiment(&spec, &quick_config()).unwrap();
+        for r in exp.results.iter().filter(|r| r.is_framework) {
+            let expected = (r.fom - exp.ddr_fom) / r.charged_mcdram_mib;
+            assert!((r.dfom_per_mbyte - expected).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # hmem-core
+//!
+//! The top of the reproduction: this crate wires the substrates together into
+//! the four-stage framework of the paper and drives the whole evaluation.
+//!
+//! * [`simrun`] — executes one application model on the machine model under a
+//!   chosen placement approach, producing a figure of merit, MCDRAM usage and
+//!   (optionally) an Extrae-style trace;
+//! * [`pipeline`] — the profile → analyse → advise → re-run loop (steps 1–4
+//!   of the paper);
+//! * [`experiment`] — the Figure-4 grid: every application × MCDRAM budget ×
+//!   selection strategy, plus the DDR / `numactl` / `autohbw` / cache-mode
+//!   baselines;
+//! * [`metrics`] — the ΔFOM/MByte efficiency metric (the paper's fourth
+//!   contribution);
+//! * [`figures`] — generators that print the data behind Figure 1, Figure 3,
+//!   Figure 5 and Table I;
+//! * [`report`] — text/CSV rendering of all of the above.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiment;
+pub mod figures;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+pub mod simrun;
+
+pub use experiment::{ApproachResult, AppExperiment, ExperimentConfig, run_app_experiment, run_full_evaluation};
+pub use metrics::delta_fom_per_mbyte;
+pub use pipeline::{FrameworkOutcome, FrameworkPipeline};
+pub use simrun::{AppRun, RunConfig, RunResult};

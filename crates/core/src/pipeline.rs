@@ -1,0 +1,196 @@
+//! The four-stage framework pipeline (Figure 2 of the paper).
+//!
+//! 1. **Profile** the application with the Extrae-analogue profiler on a
+//!    DDR-resident run, producing a trace of allocations and PEBS samples.
+//! 2. **Analyse** the trace with the Paramedir analogue, producing the
+//!    per-object LLC-miss/size report.
+//! 3. **Advise**: `hmem_advisor` selects the objects to promote for the given
+//!    MCDRAM budget and strategy.
+//! 4. **Re-run** the unmodified application with `auto-hbwmalloc` interposed,
+//!    honouring the advisor's report.
+
+use crate::simrun::{AppRun, RunConfig, RunResult};
+use auto_hbwmalloc::{AllocationRouter, AutoHbwMalloc, RouterFactory};
+use hmsim_analysis::{analyze_trace, ObjectReport};
+use hmsim_apps::AppSpec;
+use hmsim_common::{ByteSize, HmResult, HmError};
+use hmsim_profiler::ProfilerConfig;
+use hmsim_trace::TraceSummary;
+use hmem_advisor::{Advisor, MemorySpec, PlacementReport, SelectionStrategy};
+
+/// Configuration of one end-to-end pipeline execution.
+#[derive(Clone, Debug)]
+pub struct FrameworkPipeline {
+    /// Per-rank MCDRAM budget handed to the advisor and to auto-hbwmalloc.
+    pub mcdram_budget: ByteSize,
+    /// Selection strategy.
+    pub strategy: SelectionStrategy,
+    /// Profiler configuration for the profiling run.
+    pub profiler: ProfilerConfig,
+    /// Iteration override applied to both runs (None = the spec's count).
+    pub iterations_override: Option<u32>,
+    /// Master seed; the profiling and final runs use different derived ASLR
+    /// layouts, exercising the translation path exactly as a real re-run
+    /// under ASLR would.
+    pub seed: u64,
+}
+
+impl FrameworkPipeline {
+    /// A pipeline with the paper's defaults for a given budget and strategy.
+    pub fn new(mcdram_budget: ByteSize, strategy: SelectionStrategy) -> Self {
+        FrameworkPipeline {
+            mcdram_budget,
+            strategy,
+            profiler: ProfilerConfig::default(),
+            iterations_override: None,
+            seed: 0xBA5E,
+        }
+    }
+
+    /// Override the iteration count (both runs).
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        self.iterations_override = Some(iterations);
+        self
+    }
+
+    /// Override the profiler configuration.
+    pub fn with_profiler(mut self, profiler: ProfilerConfig) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    fn run_config(&self, budget: ByteSize) -> RunConfig {
+        let mut cfg = RunConfig::flat(budget);
+        cfg.seed = self.seed;
+        if let Some(it) = self.iterations_override {
+            cfg = cfg.with_iterations(it);
+        }
+        cfg
+    }
+
+    /// Execute the four stages for one application.
+    pub fn run(&self, spec: &AppSpec) -> HmResult<FrameworkOutcome> {
+        // Stage 1: profiling run (data in DDR, Extrae attached).
+        let profile_cfg = self
+            .run_config(self.mcdram_budget)
+            .with_profiling(self.profiler.clone());
+        let profile_run = AppRun::new(spec, profile_cfg).execute(RouterFactory::ddr())?;
+        let trace = profile_run
+            .trace
+            .as_ref()
+            .ok_or_else(|| HmError::InvalidState("profiling run produced no trace".into()))?;
+        let trace_summary = TraceSummary::of(trace);
+
+        // Stage 2: Paramedir-style analysis.
+        let object_report: ObjectReport = analyze_trace(trace);
+
+        // Stage 3: hmem_advisor.
+        let memspec = MemorySpec::knl_budget(self.mcdram_budget);
+        let placement: PlacementReport =
+            Advisor::new().advise(&object_report, &memspec, self.strategy)?;
+
+        // Stage 4: re-run with auto-hbwmalloc interposed, under a different
+        // ASLR layout (different process instance).
+        let (unwinder, translator) = AppRun::callstack_machinery(spec, self.seed ^ 0x5a5a_5a5a);
+        let library = AutoHbwMalloc::new(placement.clone(), unwinder, translator)
+            .with_budget(self.mcdram_budget);
+        let final_cfg = self.run_config(self.mcdram_budget);
+        let result = AppRun::new(spec, final_cfg).execute(AllocationRouter::framework(library))?;
+
+        Ok(FrameworkOutcome {
+            trace_summary,
+            object_report,
+            placement,
+            profiling_overhead: profile_run.monitoring_overhead,
+            result,
+        })
+    }
+}
+
+/// Everything the pipeline produces for one application.
+#[derive(Clone, Debug)]
+pub struct FrameworkOutcome {
+    /// Summary of the profiling trace (sample counts, allocation counts, …).
+    pub trace_summary: TraceSummary,
+    /// The per-object report handed to the advisor.
+    pub object_report: ObjectReport,
+    /// The advisor's selection.
+    pub placement: PlacementReport,
+    /// Monitoring overhead of the profiling run (fraction).
+    pub profiling_overhead: f64,
+    /// The final, placement-honouring run.
+    pub result: RunResult,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simrun::{AppRun, RunConfig};
+    use hmsim_apps::app_by_name;
+
+    fn quick(budget_mib: u64, strategy: SelectionStrategy, app: &str) -> (FrameworkOutcome, RunResult) {
+        let spec = app_by_name(app).unwrap();
+        let pipeline = FrameworkPipeline::new(ByteSize::from_mib(budget_mib), strategy)
+            .with_iterations(8);
+        let outcome = pipeline.run(&spec).unwrap();
+        let ddr = AppRun::new(
+            &spec,
+            RunConfig::flat(ByteSize::from_mib(budget_mib)).with_iterations(8),
+        )
+        .execute(auto_hbwmalloc::RouterFactory::ddr())
+        .unwrap();
+        (outcome, ddr)
+    }
+
+    #[test]
+    fn pipeline_improves_minife_over_ddr() {
+        let (outcome, ddr) = quick(
+            128,
+            SelectionStrategy::Misses {
+                threshold_percent: 0.0,
+            },
+            "miniFE",
+        );
+        assert!(
+            outcome.result.fom > ddr.fom * 1.2,
+            "framework {} vs ddr {}",
+            outcome.result.fom,
+            ddr.fom
+        );
+        // The advisor selected the hot CG objects.
+        let names: Vec<&str> = outcome
+            .placement
+            .automatic_entries()
+            .map(|e| e.name.as_str())
+            .collect();
+        assert!(names.contains(&"A.coefs"), "selected {names:?}");
+        // And MCDRAM usage stays within the budget.
+        assert!(outcome.result.mcdram_hwm <= ByteSize::from_mib(128));
+        assert!(outcome.result.mcdram_hwm > ByteSize::ZERO);
+    }
+
+    #[test]
+    fn pipeline_profiling_stage_matches_paper_scale() {
+        let (outcome, _) = quick(64, SelectionStrategy::Density, "miniFE");
+        // Sample counts per process in the thousands at most (Table I scale),
+        // never the millions an instruction-level tool would produce.
+        assert!(outcome.trace_summary.samples < 50_000);
+        assert!(outcome.profiling_overhead < 0.1);
+        assert!(outcome.object_report.total_misses > 0);
+    }
+
+    #[test]
+    fn bigger_budgets_never_hurt_hpcg() {
+        let strategies = SelectionStrategy::Misses {
+            threshold_percent: 0.0,
+        };
+        let (small, _) = quick(32, strategies, "HPCG");
+        let (large, _) = quick(256, strategies, "HPCG");
+        assert!(
+            large.result.fom >= small.result.fom * 0.98,
+            "256 MiB {} vs 32 MiB {}",
+            large.result.fom,
+            small.result.fom
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Layout of the simulated process virtual address space.
+//!
+//! The space is carved into fixed, non-overlapping regions mirroring a Linux
+//! process image: static data (`.data`/`.bss`), the thread stacks, and one
+//! heap arena per memory tier (glibc's DDR heap and memkind's MCDRAM heap
+//! live in different parts of the address space, which is how the profiler
+//! can tell them apart by address alone).
+
+use hmsim_common::{Address, AddressRange, ByteSize, HmError, HmResult, TierId};
+
+/// Kind of an address-space region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Statically allocated data (`.data`, `.bss`, Fortran COMMON blocks).
+    Static,
+    /// Thread stacks (automatic variables, register spill slots).
+    Stack,
+    /// The dynamic heap arena backed by the given tier.
+    Heap(TierId),
+}
+
+/// One contiguous region of the simulated address space.
+#[derive(Clone, Debug)]
+struct Region {
+    kind: RegionKind,
+    range: AddressRange,
+    /// Bump cursor used when carving object ranges out of static/stack
+    /// regions (heap regions are managed by the free-list allocators).
+    cursor: u64,
+}
+
+/// The full address-space layout of one simulated process.
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    regions: Vec<Region>,
+}
+
+impl AddressSpace {
+    /// Base of the static data region.
+    pub const STATIC_BASE: u64 = 0x0000_0060_0000;
+    /// Base of the stack region (grows upwards in the model for simplicity).
+    pub const STACK_BASE: u64 = 0x7ffd_0000_0000;
+    /// Base of the DDR heap arena.
+    pub const DDR_HEAP_BASE: u64 = 0x7f10_0000_0000;
+    /// Base of the MCDRAM (memkind) heap arena.
+    pub const MCDRAM_HEAP_BASE: u64 = 0x7e10_0000_0000;
+    /// Base used for heaps of additional tiers (NVM, …), spaced 1 TiB apart.
+    pub const EXTRA_HEAP_BASE: u64 = 0x7c10_0000_0000;
+
+    /// Create a layout with the given region capacities.
+    pub fn new(
+        static_size: ByteSize,
+        stack_size: ByteSize,
+        heap_tiers: &[(TierId, ByteSize)],
+    ) -> HmResult<AddressSpace> {
+        let mut regions = vec![
+            Region {
+                kind: RegionKind::Static,
+                range: AddressRange::new(Address(Self::STATIC_BASE), static_size),
+                cursor: 0,
+            },
+            Region {
+                kind: RegionKind::Stack,
+                range: AddressRange::new(Address(Self::STACK_BASE), stack_size),
+                cursor: 0,
+            },
+        ];
+        for (i, (tier, size)) in heap_tiers.iter().enumerate() {
+            let base = match *tier {
+                TierId::DDR => Self::DDR_HEAP_BASE,
+                TierId::MCDRAM => Self::MCDRAM_HEAP_BASE,
+                _ => Self::EXTRA_HEAP_BASE + (i as u64) * (1 << 40),
+            };
+            regions.push(Region {
+                kind: RegionKind::Heap(*tier),
+                range: AddressRange::new(Address(base), *size),
+                cursor: 0,
+            });
+        }
+        // Verify no overlaps.
+        for (i, a) in regions.iter().enumerate() {
+            for b in &regions[i + 1..] {
+                if a.range.overlaps(&b.range) {
+                    return Err(HmError::Config(format!(
+                        "address-space regions overlap: {:?} and {:?}",
+                        a.kind, b.kind
+                    )));
+                }
+            }
+        }
+        Ok(AddressSpace { regions })
+    }
+
+    /// A layout sized for the KNL node used in the paper: 2 GiB static,
+    /// 512 MiB of stacks, heap arenas matching the tier capacities.
+    pub fn knl_default() -> AddressSpace {
+        AddressSpace::new(
+            ByteSize::from_gib(2),
+            ByteSize::from_mib(512),
+            &[
+                (TierId::DDR, ByteSize::from_gib(96)),
+                (TierId::MCDRAM, ByteSize::from_gib(16)),
+            ],
+        )
+        .expect("default layout is consistent")
+    }
+
+    /// The full range of a region.
+    pub fn region(&self, kind: RegionKind) -> Option<AddressRange> {
+        self.regions
+            .iter()
+            .find(|r| r.kind == kind)
+            .map(|r| r.range)
+    }
+
+    /// Which region an address belongs to.
+    pub fn region_of(&self, addr: Address) -> Option<RegionKind> {
+        self.regions
+            .iter()
+            .find(|r| r.range.contains(addr))
+            .map(|r| r.kind)
+    }
+
+    /// Carve a new sub-range out of the static or stack region (bump
+    /// allocation; static/automatic variables are never freed individually).
+    pub fn carve(&mut self, kind: RegionKind, size: ByteSize) -> HmResult<AddressRange> {
+        if matches!(kind, RegionKind::Heap(_)) {
+            return Err(HmError::InvalidState(
+                "heap regions are managed by the tier allocators, not carved".into(),
+            ));
+        }
+        let region = self
+            .regions
+            .iter_mut()
+            .find(|r| r.kind == kind)
+            .ok_or_else(|| HmError::NotFound(format!("region {kind:?}")))?;
+        let aligned = size.page_aligned();
+        if region.cursor + aligned.bytes() > region.range.len.bytes() {
+            return Err(HmError::OutOfMemory {
+                tier: format!("{kind:?}"),
+                requested: aligned.bytes(),
+                available: region.range.len.bytes() - region.cursor,
+            });
+        }
+        let start = region.range.start.offset(region.cursor);
+        region.cursor += aligned.bytes();
+        Ok(AddressRange::new(start, size))
+    }
+
+    /// Bytes already carved from a region.
+    pub fn carved(&self, kind: RegionKind) -> ByteSize {
+        self.regions
+            .iter()
+            .find(|r| r.kind == kind)
+            .map(|r| ByteSize::from_bytes(r.cursor))
+            .unwrap_or(ByteSize::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_has_all_regions() {
+        let a = AddressSpace::knl_default();
+        assert!(a.region(RegionKind::Static).is_some());
+        assert!(a.region(RegionKind::Stack).is_some());
+        assert!(a.region(RegionKind::Heap(TierId::DDR)).is_some());
+        assert!(a.region(RegionKind::Heap(TierId::MCDRAM)).is_some());
+    }
+
+    #[test]
+    fn regions_do_not_overlap_and_classify_addresses() {
+        let a = AddressSpace::knl_default();
+        let ddr = a.region(RegionKind::Heap(TierId::DDR)).unwrap();
+        let mc = a.region(RegionKind::Heap(TierId::MCDRAM)).unwrap();
+        assert!(!ddr.overlaps(&mc));
+        assert_eq!(a.region_of(ddr.start), Some(RegionKind::Heap(TierId::DDR)));
+        assert_eq!(a.region_of(mc.start), Some(RegionKind::Heap(TierId::MCDRAM)));
+        assert_eq!(a.region_of(Address(0x10)), None);
+    }
+
+    #[test]
+    fn carving_static_ranges_bumps_cursor() {
+        let mut a = AddressSpace::knl_default();
+        let r1 = a.carve(RegionKind::Static, ByteSize::from_mib(1)).unwrap();
+        let r2 = a.carve(RegionKind::Static, ByteSize::from_mib(2)).unwrap();
+        assert!(!r1.overlaps(&r2));
+        assert_eq!(a.region_of(r1.start), Some(RegionKind::Static));
+        assert_eq!(a.carved(RegionKind::Static), ByteSize::from_mib(3));
+    }
+
+    #[test]
+    fn carving_beyond_capacity_fails() {
+        let mut a = AddressSpace::new(
+            ByteSize::from_mib(1),
+            ByteSize::from_mib(1),
+            &[(TierId::DDR, ByteSize::from_mib(8))],
+        )
+        .unwrap();
+        assert!(a.carve(RegionKind::Static, ByteSize::from_mib(2)).is_err());
+        assert!(a.carve(RegionKind::Heap(TierId::DDR), ByteSize::from_kib(4)).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! First-fit free-list allocator with coalescing.
+//!
+//! Each memory tier's heap arena is managed by one of these. It hands out
+//! address ranges from a fixed arena, merges adjacent free blocks on `free`,
+//! and tracks usage statistics. The goal is behavioural fidelity (addresses
+//! are stable, reuse happens, fragmentation exists) rather than raw speed.
+
+use hmsim_common::{Address, AddressRange, ByteSize, HmError, HmResult, HighWaterMark};
+use std::collections::BTreeMap;
+
+/// Allocation granularity (16 bytes, glibc-like minimum alignment).
+const MIN_ALIGN: u64 = 16;
+
+/// A free-list allocator over one contiguous arena.
+#[derive(Clone, Debug)]
+pub struct FreeListAllocator {
+    arena: AddressRange,
+    /// Free blocks keyed by start address → length.
+    free: BTreeMap<u64, u64>,
+    /// Live blocks keyed by start address → length (needed to validate and
+    /// size `free()` calls, like malloc's hidden header).
+    live: BTreeMap<u64, u64>,
+    hwm: HighWaterMark,
+    allocations: u64,
+    frees: u64,
+    failed: u64,
+}
+
+impl FreeListAllocator {
+    /// Create an allocator owning `arena`.
+    pub fn new(arena: AddressRange) -> Self {
+        let mut free = BTreeMap::new();
+        free.insert(arena.start.value(), arena.len.bytes());
+        FreeListAllocator {
+            arena,
+            free,
+            live: BTreeMap::new(),
+            hwm: HighWaterMark::new(),
+            allocations: 0,
+            frees: 0,
+            failed: 0,
+        }
+    }
+
+    /// The arena this allocator manages.
+    pub fn arena(&self) -> AddressRange {
+        self.arena
+    }
+
+    /// Round a request up to the allocation granularity.
+    fn rounded(size: ByteSize) -> u64 {
+        size.bytes().max(1).next_multiple_of(MIN_ALIGN)
+    }
+
+    /// Allocate `size` bytes (first-fit). Returns the range actually
+    /// reserved (length equals the requested size; internal rounding is
+    /// hidden, like malloc).
+    pub fn alloc(&mut self, size: ByteSize) -> HmResult<AddressRange> {
+        self.alloc_aligned(size, MIN_ALIGN)
+    }
+
+    /// Allocate with an explicit power-of-two alignment (posix_memalign).
+    pub fn alloc_aligned(&mut self, size: ByteSize, align: u64) -> HmResult<AddressRange> {
+        let align = align.max(MIN_ALIGN);
+        if !align.is_power_of_two() {
+            return Err(HmError::Config(format!("alignment {align} is not a power of two")));
+        }
+        let need = Self::rounded(size);
+        // First fit over free blocks that can satisfy size after aligning.
+        let candidate = self.free.iter().find_map(|(&start, &len)| {
+            let aligned_start = start.next_multiple_of(align);
+            let pad = aligned_start - start;
+            (len >= pad + need).then_some((start, len, aligned_start, pad))
+        });
+        let (block_start, block_len, aligned_start, pad) = match candidate {
+            Some(c) => c,
+            None => {
+                self.failed += 1;
+                return Err(HmError::OutOfMemory {
+                    tier: "arena".to_string(),
+                    requested: need,
+                    available: self.free_bytes().bytes(),
+                });
+            }
+        };
+        self.free.remove(&block_start);
+        if pad > 0 {
+            self.free.insert(block_start, pad);
+        }
+        let remainder = block_len - pad - need;
+        if remainder > 0 {
+            self.free.insert(aligned_start + need, remainder);
+        }
+        self.live.insert(aligned_start, need);
+        self.hwm.grow(ByteSize::from_bytes(need));
+        self.allocations += 1;
+        Ok(AddressRange::new(Address(aligned_start), size))
+    }
+
+    /// Free a previously allocated block by its start address. Returns the
+    /// number of bytes released.
+    pub fn free(&mut self, addr: Address) -> HmResult<ByteSize> {
+        let start = addr.value();
+        let len = self
+            .live
+            .remove(&start)
+            .ok_or(HmError::UnknownAddress(start))?;
+        self.hwm.shrink(ByteSize::from_bytes(len));
+        self.frees += 1;
+        // Insert and coalesce with neighbours.
+        let mut new_start = start;
+        let mut new_len = len;
+        if let Some((&prev_start, &prev_len)) = self.free.range(..start).next_back() {
+            if prev_start + prev_len == start {
+                self.free.remove(&prev_start);
+                new_start = prev_start;
+                new_len += prev_len;
+            }
+        }
+        if let Some((&next_start, &next_len)) = self.free.range(start + len..).next() {
+            if start + len == next_start {
+                self.free.remove(&next_start);
+                new_len += next_len;
+            }
+        }
+        self.free.insert(new_start, new_len);
+        Ok(ByteSize::from_bytes(len))
+    }
+
+    /// Whether `addr` is the start of a live allocation.
+    pub fn owns(&self, addr: Address) -> bool {
+        self.live.contains_key(&addr.value())
+    }
+
+    /// The size recorded for a live allocation.
+    pub fn size_of(&self, addr: Address) -> Option<ByteSize> {
+        self.live.get(&addr.value()).map(|l| ByteSize::from_bytes(*l))
+    }
+
+    /// Bytes currently allocated (after internal rounding).
+    pub fn used_bytes(&self) -> ByteSize {
+        self.hwm.current()
+    }
+
+    /// Peak bytes ever allocated.
+    pub fn hwm(&self) -> ByteSize {
+        self.hwm.peak()
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> ByteSize {
+        ByteSize::from_bytes(self.free.values().sum())
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of distinct free blocks (fragmentation indicator).
+    pub fn fragments(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total successful allocations.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total frees.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+
+    /// Allocation failures (requests that did not fit).
+    pub fn failures(&self) -> u64 {
+        self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(size_kib: u64) -> FreeListAllocator {
+        FreeListAllocator::new(AddressRange::new(
+            Address(0x1000_0000),
+            ByteSize::from_kib(size_kib),
+        ))
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_capacity() {
+        let mut a = arena(64);
+        let total_free = a.free_bytes();
+        let r = a.alloc(ByteSize::from_kib(4)).unwrap();
+        assert!(a.owns(r.start));
+        assert_eq!(a.size_of(r.start), Some(ByteSize::from_kib(4)));
+        assert_eq!(a.live_count(), 1);
+        a.free(r.start).unwrap();
+        assert_eq!(a.free_bytes(), total_free);
+        assert_eq!(a.live_count(), 0);
+        assert_eq!(a.fragments(), 1, "coalescing must restore a single block");
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut a = arena(64);
+        let mut ranges = Vec::new();
+        for i in 1..=10u64 {
+            ranges.push(a.alloc(ByteSize::from_bytes(i * 100)).unwrap());
+        }
+        for (i, r1) in ranges.iter().enumerate() {
+            for r2 in &ranges[i + 1..] {
+                assert!(!r1.overlaps(r2), "{r1:?} overlaps {r2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn free_coalesces_with_both_neighbours() {
+        let mut a = arena(64);
+        let r1 = a.alloc(ByteSize::from_kib(1)).unwrap();
+        let r2 = a.alloc(ByteSize::from_kib(1)).unwrap();
+        let r3 = a.alloc(ByteSize::from_kib(1)).unwrap();
+        a.free(r1.start).unwrap();
+        a.free(r3.start).unwrap();
+        // Freeing the middle block must merge all three plus the tail.
+        a.free(r2.start).unwrap();
+        assert_eq!(a.fragments(), 1);
+    }
+
+    #[test]
+    fn out_of_memory_reports_failure() {
+        let mut a = arena(8);
+        assert!(a.alloc(ByteSize::from_kib(4)).is_ok());
+        let err = a.alloc(ByteSize::from_kib(16));
+        assert!(matches!(err, Err(HmError::OutOfMemory { .. })));
+        assert_eq!(a.failures(), 1);
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut a = arena(16);
+        let r = a.alloc(ByteSize::from_kib(1)).unwrap();
+        a.free(r.start).unwrap();
+        assert!(matches!(a.free(r.start), Err(HmError::UnknownAddress(_))));
+        assert!(matches!(a.free(Address(0x42)), Err(HmError::UnknownAddress(_))));
+    }
+
+    #[test]
+    fn aligned_allocation_respects_alignment() {
+        let mut a = arena(64);
+        // Misalign the arena cursor first.
+        let _ = a.alloc(ByteSize::from_bytes(24)).unwrap();
+        let r = a.alloc_aligned(ByteSize::from_kib(1), 4096).unwrap();
+        assert_eq!(r.start.value() % 4096, 0);
+        assert!(a.alloc_aligned(ByteSize::from_kib(1), 100).is_err(), "non power of two");
+    }
+
+    #[test]
+    fn hwm_tracks_peak_usage() {
+        let mut a = arena(64);
+        let r1 = a.alloc(ByteSize::from_kib(8)).unwrap();
+        let r2 = a.alloc(ByteSize::from_kib(8)).unwrap();
+        a.free(r1.start).unwrap();
+        let _r3 = a.alloc(ByteSize::from_kib(2)).unwrap();
+        assert_eq!(a.hwm(), ByteSize::from_kib(16));
+        assert_eq!(a.used_bytes(), ByteSize::from_kib(10));
+        a.free(r2.start).unwrap();
+        assert_eq!(a.allocations(), 3);
+        assert_eq!(a.frees(), 2);
+    }
+
+    #[test]
+    fn freed_space_is_reused() {
+        let mut a = arena(8);
+        let r1 = a.alloc(ByteSize::from_kib(4)).unwrap();
+        a.free(r1.start).unwrap();
+        let r2 = a.alloc(ByteSize::from_kib(4)).unwrap();
+        assert_eq!(r1.start, r2.start, "first-fit must reuse the freed block");
+    }
+}

@@ -1,0 +1,29 @@
+//! # hmsim-heap
+//!
+//! The simulated process memory substrate: a virtual address space carved
+//! into static/stack/per-tier-heap regions, real free-list allocators with
+//! capacity caps standing in for glibc malloc and memkind's `hbw_malloc`,
+//! a registry of live data objects (what Extrae's allocation instrumentation
+//! sees), and the process-level heap façade that `auto-hbwmalloc` interposes
+//! on.
+//!
+//! Everything placement-related is reflected into an `hmsim-machine`
+//! [`hmsim_machine::PageTable`] so that both execution engines know which
+//! tier serves which page.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod address_space;
+pub mod freelist;
+pub mod object;
+pub mod process_heap;
+pub mod registry;
+pub mod tier_alloc;
+
+pub use address_space::{AddressSpace, RegionKind};
+pub use freelist::FreeListAllocator;
+pub use object::{DataObject, ObjectKind};
+pub use process_heap::ProcessHeap;
+pub use registry::LiveObjectRegistry;
+pub use tier_alloc::{AllocCostModel, TierAllocStats, TierAllocator};

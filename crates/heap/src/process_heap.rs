@@ -1,0 +1,375 @@
+//! The process-level heap façade.
+//!
+//! `ProcessHeap` glues together the address-space layout, one
+//! [`TierAllocator`] per memory tier, the live-object registry and a
+//! machine-level page table. It is the thing `auto-hbwmalloc` interposes on:
+//! every simulated `malloc`/`free` flows through here, and placement is
+//! reflected into the page table so the execution engines charge the right
+//! tier.
+
+use crate::address_space::{AddressSpace, RegionKind};
+use crate::object::{DataObject, ObjectKind};
+use crate::registry::LiveObjectRegistry;
+use crate::tier_alloc::{AllocCostModel, TierAllocStats, TierAllocator};
+use hmsim_callstack::SiteKey;
+use hmsim_common::{Address, AddressRange, ByteSize, HmError, HmResult, Nanos, ObjectId, TierId};
+use hmsim_machine::{MachineConfig, PageTable};
+
+/// The simulated process heap: allocators, live objects and page placement.
+#[derive(Clone, Debug)]
+pub struct ProcessHeap {
+    address_space: AddressSpace,
+    allocators: Vec<TierAllocator>,
+    registry: LiveObjectRegistry,
+    page_table: PageTable,
+}
+
+impl ProcessHeap {
+    /// Build a heap for the given machine: a glibc-like allocator over the
+    /// DDR arena and a memkind-like allocator over the MCDRAM arena (plus one
+    /// generic allocator per any additional tier).
+    pub fn new(machine: &MachineConfig) -> HmResult<ProcessHeap> {
+        let tiers: Vec<(TierId, ByteSize)> = machine
+            .tiers
+            .iter()
+            .map(|t| (t.id, t.capacity))
+            .collect();
+        let address_space = AddressSpace::new(
+            ByteSize::from_gib(2),
+            ByteSize::from_mib(512),
+            &tiers,
+        )?;
+        let mut allocators = Vec::new();
+        for (tier, _) in &tiers {
+            let arena = address_space
+                .region(RegionKind::Heap(*tier))
+                .ok_or_else(|| HmError::NotFound(format!("heap region for {tier:?}")))?;
+            // Page placement (where the object lands) is orthogonal to which
+            // allocator *API* served the call: `numactl -p 1` places glibc
+            // allocations in MCDRAM without paying memkind's costs. The
+            // extra cost of going through memkind/hbw_malloc is therefore
+            // charged by the interposition layers (auto-hbwmalloc, autohbw)
+            // on top of the base cost modelled here.
+            let name = if *tier == TierId::MCDRAM {
+                "mcdram-arena"
+            } else if *tier == TierId::DDR {
+                "glibc"
+            } else {
+                "generic"
+            };
+            let cost = AllocCostModel::glibc();
+            allocators.push(TierAllocator::new(*tier, name, arena, cost));
+        }
+        Ok(ProcessHeap {
+            address_space,
+            allocators,
+            registry: LiveObjectRegistry::new(),
+            page_table: PageTable::new(TierId::DDR),
+        })
+    }
+
+    /// Apply a capacity cap to one tier's allocator (the per-rank MCDRAM
+    /// budget of the experiments).
+    pub fn set_capacity_cap(&mut self, tier: TierId, cap: ByteSize) -> HmResult<()> {
+        let alloc = self
+            .allocator_mut(tier)
+            .ok_or_else(|| HmError::NotFound(format!("allocator for {tier:?}")))?;
+        *alloc = alloc.clone().with_capacity_cap(cap);
+        Ok(())
+    }
+
+    /// The allocator serving `tier`.
+    pub fn allocator(&self, tier: TierId) -> Option<&TierAllocator> {
+        self.allocators.iter().find(|a| a.tier() == tier)
+    }
+
+    fn allocator_mut(&mut self, tier: TierId) -> Option<&mut TierAllocator> {
+        self.allocators.iter_mut().find(|a| a.tier() == tier)
+    }
+
+    /// Whether an allocation of `size` bytes currently fits in `tier`.
+    pub fn fits(&self, tier: TierId, size: ByteSize) -> bool {
+        self.allocator(tier).map(|a| a.fits(size)).unwrap_or(false)
+    }
+
+    /// Dynamically allocate `size` bytes in `tier`, registering the object
+    /// and mapping its pages. Returns the object id, its range and the CPU
+    /// cost of the allocator call.
+    pub fn malloc(
+        &mut self,
+        size: ByteSize,
+        tier: TierId,
+        name: impl Into<String>,
+        site: Option<SiteKey>,
+        now: Nanos,
+    ) -> HmResult<(ObjectId, AddressRange, Nanos)> {
+        let alloc = self
+            .allocator_mut(tier)
+            .ok_or_else(|| HmError::NotFound(format!("allocator for {tier:?}")))?;
+        let (range, cost) = alloc.alloc(size)?;
+        let id = self.registry.next_id();
+        self.registry.insert(DataObject {
+            id,
+            name: name.into(),
+            kind: ObjectKind::Dynamic,
+            site,
+            range,
+            tier,
+            allocated_at: now,
+            freed_at: None,
+        })?;
+        self.page_table.map_range(range, tier);
+        Ok((id, range, cost))
+    }
+
+    /// Free the dynamic allocation starting at `addr`. Returns the freed
+    /// size and the CPU cost of the call.
+    pub fn free(&mut self, addr: Address, now: Nanos) -> HmResult<(ByteSize, Nanos)> {
+        let tier = self
+            .allocators
+            .iter()
+            .find(|a| a.owns(addr))
+            .map(|a| a.tier())
+            .ok_or(HmError::UnknownAddress(addr.value()))?;
+        let alloc = self.allocator_mut(tier).expect("tier found above");
+        let (size, cost) = alloc.free(addr)?;
+        let (_, _) = self.registry.remove_by_start(addr, now)?;
+        self.page_table
+            .unmap_range(AddressRange::new(addr, size));
+        Ok((size, cost))
+    }
+
+    /// Reallocate: allocate a new block in the same tier, free the old one.
+    /// (Contents are not modelled.) Returns the new object id and range plus
+    /// the combined CPU cost.
+    pub fn realloc(
+        &mut self,
+        addr: Address,
+        new_size: ByteSize,
+        now: Nanos,
+    ) -> HmResult<(ObjectId, AddressRange, Nanos)> {
+        let old = self
+            .registry
+            .find_containing(addr)
+            .ok_or(HmError::UnknownAddress(addr.value()))?;
+        let tier = old.tier;
+        let name = old.name.clone();
+        let site = old.site.clone();
+        let (_, free_cost) = self.free(addr, now)?;
+        let (id, range, alloc_cost) = self.malloc(new_size, tier, name, site, now)?;
+        Ok((id, range, free_cost + alloc_cost))
+    }
+
+    /// Register a static (named) variable, carving it from the static region
+    /// and mapping its pages to `tier` (DDR normally; MCDRAM under
+    /// `numactl -p 1`).
+    pub fn define_static(
+        &mut self,
+        name: impl Into<String>,
+        size: ByteSize,
+        tier: TierId,
+        now: Nanos,
+    ) -> HmResult<(ObjectId, AddressRange)> {
+        let range = self.address_space.carve(RegionKind::Static, size)?;
+        let id = self.registry.next_id();
+        self.registry.insert(DataObject {
+            id,
+            name: name.into(),
+            kind: ObjectKind::Static,
+            site: None,
+            range,
+            tier,
+            allocated_at: now,
+            freed_at: None,
+        })?;
+        self.page_table.map_range(range, tier);
+        Ok((id, range))
+    }
+
+    /// Register a stack (automatic) region, e.g. per-thread stacks or the
+    /// register-spill area of a hot routine.
+    pub fn define_stack(
+        &mut self,
+        name: impl Into<String>,
+        size: ByteSize,
+        tier: TierId,
+        now: Nanos,
+    ) -> HmResult<(ObjectId, AddressRange)> {
+        let range = self.address_space.carve(RegionKind::Stack, size)?;
+        let id = self.registry.next_id();
+        self.registry.insert(DataObject {
+            id,
+            name: name.into(),
+            kind: ObjectKind::Stack,
+            site: None,
+            range,
+            tier,
+            allocated_at: now,
+            freed_at: None,
+        })?;
+        self.page_table.map_range(range, tier);
+        Ok((id, range))
+    }
+
+    /// Move every page of an existing object to another tier (what
+    /// `numactl`-style policies or a migrating runtime would do).
+    pub fn migrate_object(&mut self, id: ObjectId, tier: TierId) -> HmResult<()> {
+        let obj = self
+            .registry
+            .get(id)
+            .ok_or_else(|| HmError::NotFound(format!("{id:?}")))?;
+        let range = obj.range;
+        self.page_table.map_range(range, tier);
+        Ok(())
+    }
+
+    /// The live-object registry.
+    pub fn registry(&self) -> &LiveObjectRegistry {
+        &self.registry
+    }
+
+    /// The page table reflecting current placement.
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// The address-space layout.
+    pub fn address_space(&self) -> &AddressSpace {
+        &self.address_space
+    }
+
+    /// Statistics of the allocator serving `tier`.
+    pub fn stats(&self, tier: TierId) -> Option<TierAllocStats> {
+        self.allocator(tier).map(|a| a.stats())
+    }
+
+    /// Total live bytes across all tiers (dynamic allocations only).
+    pub fn live_dynamic_bytes(&self) -> ByteSize {
+        self.allocators.iter().map(|a| a.used_bytes()).sum()
+    }
+
+    /// Total live bytes including static and stack objects.
+    pub fn working_set(&self) -> ByteSize {
+        self.registry.live_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_machine::MachineConfig;
+
+    fn heap() -> ProcessHeap {
+        ProcessHeap::new(&MachineConfig::knl_7250()).unwrap()
+    }
+
+    #[test]
+    fn malloc_registers_object_and_maps_pages() {
+        let mut h = heap();
+        let (id, range, cost) = h
+            .malloc(
+                ByteSize::from_mib(8),
+                TierId::MCDRAM,
+                "matrix",
+                Some(SiteKey::from_text("app!alloc_matrix+0x10")),
+                Nanos::ZERO,
+            )
+            .unwrap();
+        assert!(cost.nanos() > 0.0);
+        assert_eq!(h.registry().get(id).unwrap().tier, TierId::MCDRAM);
+        assert_eq!(h.page_table().tier_of(range.start), TierId::MCDRAM);
+        assert_eq!(
+            h.registry().find_containing(range.start.offset(4096)).unwrap().id,
+            id
+        );
+        assert_eq!(h.live_dynamic_bytes(), ByteSize::from_mib(8));
+    }
+
+    #[test]
+    fn free_unmaps_and_unregisters() {
+        let mut h = heap();
+        let (_, range, _) = h
+            .malloc(ByteSize::from_mib(4), TierId::MCDRAM, "buf", None, Nanos::ZERO)
+            .unwrap();
+        let (size, _) = h.free(range.start, Nanos::from_millis(1.0)).unwrap();
+        assert_eq!(size, ByteSize::from_mib(4));
+        assert!(h.registry().find_containing(range.start).is_none());
+        assert_eq!(h.page_table().tier_of(range.start), TierId::DDR, "falls back to default");
+        assert!(h.free(range.start, Nanos::ZERO).is_err(), "double free rejected");
+    }
+
+    #[test]
+    fn capacity_cap_forces_fallback_decisions() {
+        let mut h = heap();
+        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(32)).unwrap();
+        assert!(h.fits(TierId::MCDRAM, ByteSize::from_mib(32)));
+        h.malloc(ByteSize::from_mib(30), TierId::MCDRAM, "a", None, Nanos::ZERO)
+            .unwrap();
+        assert!(!h.fits(TierId::MCDRAM, ByteSize::from_mib(8)));
+        assert!(h
+            .malloc(ByteSize::from_mib(8), TierId::MCDRAM, "b", None, Nanos::ZERO)
+            .is_err());
+        // DDR still accepts it.
+        assert!(h
+            .malloc(ByteSize::from_mib(8), TierId::DDR, "b", None, Nanos::ZERO)
+            .is_ok());
+        assert_eq!(h.stats(TierId::MCDRAM).unwrap().rejected, 1);
+    }
+
+    #[test]
+    fn static_and_stack_objects_are_not_promotable_but_can_be_placed() {
+        let mut h = heap();
+        let (sid, srange) = h
+            .define_static("common_block", ByteSize::from_mib(100), TierId::MCDRAM, Nanos::ZERO)
+            .unwrap();
+        let (kid, krange) = h
+            .define_stack("omp_stacks", ByteSize::from_mib(16), TierId::DDR, Nanos::ZERO)
+            .unwrap();
+        assert!(!h.registry().get(sid).unwrap().promotable());
+        assert!(!h.registry().get(kid).unwrap().promotable());
+        assert_eq!(h.page_table().tier_of(srange.start), TierId::MCDRAM);
+        assert_eq!(h.page_table().tier_of(krange.start), TierId::DDR);
+        assert_eq!(h.working_set(), ByteSize::from_mib(116));
+        assert_eq!(h.live_dynamic_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn migrate_object_remaps_pages() {
+        let mut h = heap();
+        let (id, range) = h
+            .define_static("grid", ByteSize::from_mib(10), TierId::DDR, Nanos::ZERO)
+            .unwrap();
+        h.migrate_object(id, TierId::MCDRAM).unwrap();
+        assert_eq!(h.page_table().tier_of(range.start.offset(range.len.bytes() - 1)), TierId::MCDRAM);
+        assert!(h.migrate_object(ObjectId(999), TierId::DDR).is_err());
+    }
+
+    #[test]
+    fn realloc_preserves_tier_and_identity_lineage() {
+        let mut h = heap();
+        let (_, range, _) = h
+            .malloc(
+                ByteSize::from_mib(2),
+                TierId::MCDRAM,
+                "growing",
+                Some(SiteKey::from_text("app!grow+0x4")),
+                Nanos::ZERO,
+            )
+            .unwrap();
+        let (new_id, new_range, cost) = h
+            .realloc(range.start, ByteSize::from_mib(4), Nanos::from_millis(2.0))
+            .unwrap();
+        assert!(cost.nanos() > 0.0);
+        let obj = h.registry().get(new_id).unwrap();
+        assert_eq!(obj.tier, TierId::MCDRAM);
+        assert_eq!(obj.name, "growing");
+        assert_eq!(obj.size(), ByteSize::from_mib(4));
+        assert_eq!(h.page_table().tier_of(new_range.start), TierId::MCDRAM);
+    }
+
+    #[test]
+    fn realloc_of_unknown_address_fails() {
+        let mut h = heap();
+        assert!(h.realloc(Address(0xdead), ByteSize::from_kib(4), Nanos::ZERO).is_err());
+    }
+}

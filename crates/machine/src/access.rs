@@ -1,0 +1,288 @@
+//! Memory access representation and synthetic access-stream generators.
+//!
+//! The trace-driven engine consumes a stream of [`MemoryAccess`]es. The
+//! generators here produce the canonical HPC patterns the paper's workloads
+//! exhibit: contiguous streaming (STREAM, vector updates), strided walks
+//! (structured grids), and irregular gathers (sparse matrices, particle
+//! codes).
+
+use hmsim_common::{Address, AddressRange, ByteSize, DetRng};
+
+/// Whether an access reads or writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+}
+
+/// One memory access issued by the simulated application.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryAccess {
+    /// Referenced virtual address.
+    pub address: Address,
+    /// Number of bytes touched (typically the element size).
+    pub size: u16,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemoryAccess {
+    /// Convenience constructor for a load.
+    pub fn load(address: Address, size: u16) -> Self {
+        MemoryAccess {
+            address,
+            size,
+            kind: AccessKind::Load,
+        }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(address: Address, size: u16) -> Self {
+        MemoryAccess {
+            address,
+            size,
+            kind: AccessKind::Store,
+        }
+    }
+}
+
+/// High-level description of how a kernel walks a data object. The analytic
+/// engine uses this to estimate cache behaviour; the trace-driven engine uses
+/// it to synthesise concrete address streams.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AccessPattern {
+    /// Contiguous, unit-stride streaming over the whole object.
+    Sequential,
+    /// Fixed stride in bytes between consecutive elements.
+    Strided {
+        /// Stride between consecutive accesses, in bytes.
+        stride: u32,
+    },
+    /// Uniformly random (gather/scatter) accesses over the object.
+    Random,
+    /// Accesses restricted to a hot fraction of the object (the rest is
+    /// touched rarely); models partially-hot structures such as halo regions.
+    HotSpot {
+        /// Fraction (0..=1) of the object that receives most accesses.
+        hot_fraction: f32,
+    },
+}
+
+impl AccessPattern {
+    /// Probability that an access to an object with this pattern misses the
+    /// LLC *given* the object is much larger than the LLC. Regular patterns
+    /// benefit from hardware prefetching and spatial locality; random ones do
+    /// not.
+    pub fn llc_miss_factor(self, element_size: u32, line_size: u64) -> f64 {
+        let per_line = (line_size as f64 / f64::from(element_size.max(1))).max(1.0);
+        match self {
+            AccessPattern::Sequential => (1.0 / per_line) * 0.55, // prefetch hides misses
+            AccessPattern::Strided { stride } => {
+                let lines_per_access = (f64::from(stride) / line_size as f64).min(1.0);
+                (lines_per_access.max(1.0 / per_line)) * 0.75
+            }
+            AccessPattern::Random => 0.95,
+            AccessPattern::HotSpot { hot_fraction } => {
+                let hf = f64::from(hot_fraction).clamp(0.01, 1.0);
+                // Hot part mostly hits, cold part behaves like random.
+                0.15 * hf + 0.9 * (1.0 - hf)
+            }
+        }
+    }
+}
+
+/// Generator of concrete access streams over an address range.
+#[derive(Clone, Debug)]
+pub struct AccessStream {
+    range: AddressRange,
+    pattern: AccessPattern,
+    element_size: u16,
+    store_ratio: f64,
+    cursor: u64,
+    rng: DetRng,
+}
+
+impl AccessStream {
+    /// Create a stream over `range` following `pattern`, touching
+    /// `element_size`-byte elements, with `store_ratio` of accesses being
+    /// stores.
+    pub fn new(
+        range: AddressRange,
+        pattern: AccessPattern,
+        element_size: u16,
+        store_ratio: f64,
+        rng: DetRng,
+    ) -> Self {
+        AccessStream {
+            range,
+            pattern,
+            element_size: element_size.max(1),
+            store_ratio: store_ratio.clamp(0.0, 1.0),
+            cursor: 0,
+            rng,
+        }
+    }
+
+    /// Generate the next `n` accesses.
+    pub fn take(&mut self, n: usize) -> Vec<MemoryAccess> {
+        (0..n).map(|_| self.next_access()).collect()
+    }
+
+    /// Generate the next access in the stream.
+    pub fn next_access(&mut self) -> MemoryAccess {
+        let len = self.range.len.bytes().max(u64::from(self.element_size));
+        let span = len - u64::from(self.element_size) + 1;
+        let offset = match self.pattern {
+            AccessPattern::Sequential => {
+                let o = self.cursor % span;
+                self.cursor += u64::from(self.element_size);
+                o
+            }
+            AccessPattern::Strided { stride } => {
+                let o = self.cursor % span;
+                self.cursor += u64::from(stride.max(1));
+                o
+            }
+            AccessPattern::Random => self.rng.uniform_range(0, span),
+            AccessPattern::HotSpot { hot_fraction } => {
+                let hf = f64::from(hot_fraction).clamp(0.01, 1.0);
+                let hot_span = ((span as f64) * hf).max(1.0) as u64;
+                if self.rng.chance(0.9) {
+                    self.rng.uniform_range(0, hot_span)
+                } else {
+                    self.rng.uniform_range(0, span)
+                }
+            }
+        };
+        let address = self.range.start.offset(offset);
+        let kind = if self.rng.chance(self.store_ratio) {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        MemoryAccess {
+            address,
+            size: self.element_size,
+            kind,
+        }
+    }
+
+    /// The address range this stream covers.
+    pub fn range(&self) -> AddressRange {
+        self.range
+    }
+}
+
+/// Convenience: generate a full sequential sweep over a range (one access per
+/// element), e.g. one STREAM kernel pass over an array.
+pub fn sequential_sweep(range: AddressRange, element_size: u16, kind: AccessKind) -> Vec<MemoryAccess> {
+    let n = (range.len.bytes() / u64::from(element_size.max(1))) as usize;
+    (0..n)
+        .map(|i| MemoryAccess {
+            address: range.start.offset(i as u64 * u64::from(element_size)),
+            size: element_size,
+            kind,
+        })
+        .collect()
+}
+
+/// Convenience: build an address range starting at `start` covering `size`.
+pub fn range(start: u64, size: ByteSize) -> AddressRange {
+    AddressRange::new(Address(start), size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_common::DetRng;
+
+    fn test_range() -> AddressRange {
+        range(0x1000_0000, ByteSize::from_kib(64))
+    }
+
+    #[test]
+    fn sequential_stream_walks_contiguously() {
+        let mut s = AccessStream::new(
+            test_range(),
+            AccessPattern::Sequential,
+            8,
+            0.0,
+            DetRng::new(1),
+        );
+        let acc = s.take(10);
+        for (i, a) in acc.iter().enumerate() {
+            assert_eq!(a.address.value(), 0x1000_0000 + 8 * i as u64);
+            assert_eq!(a.kind, AccessKind::Load);
+        }
+    }
+
+    #[test]
+    fn sequential_stream_wraps_around() {
+        let r = range(0, ByteSize::from_bytes(32));
+        let mut s = AccessStream::new(r, AccessPattern::Sequential, 8, 0.0, DetRng::new(1));
+        let acc = s.take(10);
+        assert!(acc.iter().all(|a| r.contains(a.address)));
+    }
+
+    #[test]
+    fn random_stream_stays_in_range() {
+        let r = test_range();
+        let mut s = AccessStream::new(r, AccessPattern::Random, 8, 0.5, DetRng::new(2));
+        let acc = s.take(1000);
+        assert!(acc.iter().all(|a| r.contains(a.address)));
+        let stores = acc.iter().filter(|a| a.kind == AccessKind::Store).count();
+        assert!(stores > 300 && stores < 700, "store count {stores}");
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let r = test_range();
+        let mut s = AccessStream::new(
+            r,
+            AccessPattern::HotSpot { hot_fraction: 0.1 },
+            8,
+            0.0,
+            DetRng::new(3),
+        );
+        let acc = s.take(2000);
+        let hot_end = r.start.value() + r.len.bytes() / 10;
+        let in_hot = acc.iter().filter(|a| a.address.value() < hot_end).count();
+        assert!(in_hot as f64 / 2000.0 > 0.7, "hot fraction {in_hot}");
+    }
+
+    #[test]
+    fn strided_stream_uses_stride() {
+        let mut s = AccessStream::new(
+            test_range(),
+            AccessPattern::Strided { stride: 256 },
+            8,
+            0.0,
+            DetRng::new(4),
+        );
+        let acc = s.take(3);
+        assert_eq!(acc[1].address - acc[0].address, 256);
+        assert_eq!(acc[2].address - acc[1].address, 256);
+    }
+
+    #[test]
+    fn miss_factor_orders_patterns() {
+        let seq = AccessPattern::Sequential.llc_miss_factor(8, 64);
+        let strided = AccessPattern::Strided { stride: 64 }.llc_miss_factor(8, 64);
+        let rand = AccessPattern::Random.llc_miss_factor(8, 64);
+        assert!(seq < strided);
+        assert!(strided < rand);
+        assert!(rand <= 1.0);
+        assert!(seq > 0.0);
+    }
+
+    #[test]
+    fn sweep_covers_whole_range() {
+        let r = range(0, ByteSize::from_bytes(64 * 4));
+        let acc = sequential_sweep(r, 8, AccessKind::Store);
+        assert_eq!(acc.len(), 32);
+        assert_eq!(acc.last().unwrap().address.value(), 64 * 4 - 8);
+        assert!(acc.iter().all(|a| a.kind == AccessKind::Store));
+    }
+}

@@ -1,0 +1,142 @@
+//! Page-granularity mapping of the simulated address space to memory tiers.
+//!
+//! The framework's whole purpose is to decide which pages live in which tier;
+//! this structure records that decision and answers "where does this address
+//! live" for both engines. `hmem_advisor` packs objects into tiers at page
+//! granularity (paper §III step 3), so pages are also our unit here.
+
+use hmsim_common::{AddressRange, ByteSize, Page, TierId};
+use std::collections::HashMap;
+
+/// Maps pages to tiers, with a default tier for unmapped pages.
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    default_tier: TierId,
+    pages: HashMap<Page, TierId>,
+    /// Bytes mapped per tier (page-granular accounting), indexed by tier id.
+    footprint: HashMap<TierId, u64>,
+}
+
+impl PageTable {
+    /// Create a page table whose unmapped pages belong to `default_tier`
+    /// (normally DDR).
+    pub fn new(default_tier: TierId) -> Self {
+        PageTable {
+            default_tier,
+            pages: HashMap::new(),
+            footprint: HashMap::new(),
+        }
+    }
+
+    /// The default tier for unmapped pages.
+    pub fn default_tier(&self) -> TierId {
+        self.default_tier
+    }
+
+    /// Map every page covered by `range` to `tier`.
+    pub fn map_range(&mut self, range: AddressRange, tier: TierId) {
+        for page in range.pages() {
+            self.map_page(page, tier);
+        }
+    }
+
+    /// Map one page to a tier (re-mapping moves the footprint accounting).
+    pub fn map_page(&mut self, page: Page, tier: TierId) {
+        let prev = self.pages.insert(page, tier);
+        let prev_tier = prev.unwrap_or(self.default_tier);
+        if prev_tier != tier {
+            *self.footprint.entry(prev_tier).or_insert(0) = self
+                .footprint
+                .get(&prev_tier)
+                .copied()
+                .unwrap_or(0)
+                .saturating_sub(hmsim_common::PAGE_SIZE);
+            *self.footprint.entry(tier).or_insert(0) += hmsim_common::PAGE_SIZE;
+        } else if prev.is_none() {
+            *self.footprint.entry(tier).or_insert(0) += hmsim_common::PAGE_SIZE;
+        }
+    }
+
+    /// Remove the explicit mapping of every page in `range` (they fall back
+    /// to the default tier).
+    pub fn unmap_range(&mut self, range: AddressRange) {
+        for page in range.pages() {
+            if let Some(tier) = self.pages.remove(&page) {
+                *self.footprint.entry(tier).or_insert(0) = self
+                    .footprint
+                    .get(&tier)
+                    .copied()
+                    .unwrap_or(0)
+                    .saturating_sub(hmsim_common::PAGE_SIZE);
+            }
+        }
+    }
+
+    /// The tier a page currently lives in.
+    pub fn tier_of_page(&self, page: Page) -> TierId {
+        self.pages.get(&page).copied().unwrap_or(self.default_tier)
+    }
+
+    /// The tier the page containing `addr` lives in.
+    pub fn tier_of(&self, addr: hmsim_common::Address) -> TierId {
+        self.tier_of_page(addr.page())
+    }
+
+    /// Bytes explicitly mapped to `tier` (page-granular; excludes the default
+    /// tier's implicit coverage).
+    pub fn mapped_bytes(&self, tier: TierId) -> ByteSize {
+        ByteSize::from_bytes(self.footprint.get(&tier).copied().unwrap_or(0))
+    }
+
+    /// Number of explicitly mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_common::{Address, ByteSize, PAGE_SIZE};
+
+    #[test]
+    fn unmapped_addresses_use_default_tier() {
+        let pt = PageTable::new(TierId::DDR);
+        assert_eq!(pt.tier_of(Address(0x1234)), TierId::DDR);
+        assert_eq!(pt.default_tier(), TierId::DDR);
+    }
+
+    #[test]
+    fn mapping_a_range_covers_all_its_pages() {
+        let mut pt = PageTable::new(TierId::DDR);
+        let range = AddressRange::new(Address(PAGE_SIZE / 2), ByteSize::from_bytes(PAGE_SIZE * 2));
+        pt.map_range(range, TierId::MCDRAM);
+        assert_eq!(pt.tier_of(Address(PAGE_SIZE / 2)), TierId::MCDRAM);
+        assert_eq!(pt.tier_of(Address(PAGE_SIZE + 5)), TierId::MCDRAM);
+        assert_eq!(pt.tier_of(Address(PAGE_SIZE * 2 + 1)), TierId::MCDRAM);
+        assert_eq!(pt.tier_of(Address(PAGE_SIZE * 4)), TierId::DDR);
+    }
+
+    #[test]
+    fn footprint_accounting_tracks_mapping_and_unmapping() {
+        let mut pt = PageTable::new(TierId::DDR);
+        let range = AddressRange::new(Address(0), ByteSize::from_bytes(PAGE_SIZE * 3));
+        pt.map_range(range, TierId::MCDRAM);
+        assert_eq!(pt.mapped_bytes(TierId::MCDRAM), ByteSize::from_bytes(PAGE_SIZE * 3));
+        pt.unmap_range(AddressRange::new(Address(0), ByteSize::from_bytes(PAGE_SIZE)));
+        assert_eq!(pt.mapped_bytes(TierId::MCDRAM), ByteSize::from_bytes(PAGE_SIZE * 2));
+        assert_eq!(pt.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn remapping_moves_footprint_between_tiers() {
+        let mut pt = PageTable::new(TierId::DDR);
+        pt.map_page(Page(7), TierId::DDR);
+        pt.map_page(Page(7), TierId::MCDRAM);
+        assert_eq!(pt.mapped_bytes(TierId::MCDRAM).bytes(), PAGE_SIZE);
+        assert_eq!(pt.mapped_bytes(TierId::DDR).bytes(), 0);
+        // Re-mapping to the same tier is a no-op for accounting.
+        pt.map_page(Page(7), TierId::MCDRAM);
+        assert_eq!(pt.mapped_bytes(TierId::MCDRAM).bytes(), PAGE_SIZE);
+    }
+}

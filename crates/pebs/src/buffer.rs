@@ -1,0 +1,113 @@
+//! The PEBS record buffer (debug store area) and its drain interface.
+//!
+//! Hardware writes PEBS records into a memory buffer and raises an interrupt
+//! when it is nearly full; the tracing runtime then drains it. Modelling the
+//! buffer lets the profiler account for drain overhead and lets ablation
+//! studies explore buffer sizing.
+
+use crate::sampler::RawSample;
+
+/// A bounded PEBS record buffer.
+#[derive(Clone, Debug)]
+pub struct SampleBuffer {
+    records: Vec<RawSample>,
+    capacity: usize,
+    /// Records dropped because the buffer was full (should stay 0 when the
+    /// runtime drains promptly).
+    dropped: u64,
+    /// Number of overflow interrupts raised (capacity reached).
+    interrupts: u64,
+}
+
+impl SampleBuffer {
+    /// Create a buffer holding up to `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        SampleBuffer {
+            records: Vec::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            interrupts: 0,
+        }
+    }
+
+    /// Push a record. Returns `true` if the buffer reached capacity and an
+    /// interrupt should fire (the caller is expected to drain).
+    pub fn push(&mut self, sample: RawSample) -> bool {
+        if self.records.len() >= self.capacity {
+            self.dropped += 1;
+            return true;
+        }
+        self.records.push(sample);
+        if self.records.len() >= self.capacity {
+            self.interrupts += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drain all buffered records.
+    pub fn drain(&mut self) -> Vec<RawSample> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records dropped due to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Overflow interrupts raised.
+    pub fn interrupts(&self) -> u64 {
+        self.interrupts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_common::{Address, Nanos};
+
+    fn sample(i: u64) -> RawSample {
+        RawSample {
+            time: Nanos(i as f64),
+            address: Address(i),
+            latency_cycles: None,
+            weight: 1,
+        }
+    }
+
+    #[test]
+    fn push_and_drain() {
+        let mut b = SampleBuffer::new(4);
+        assert!(b.is_empty());
+        for i in 0..3 {
+            assert!(!b.push(sample(i)));
+        }
+        assert!(b.push(sample(3)), "capacity reached raises interrupt");
+        assert_eq!(b.interrupts(), 1);
+        let drained = b.drain();
+        assert_eq!(drained.len(), 4);
+        assert!(b.is_empty());
+        assert_eq!(b.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_records() {
+        let mut b = SampleBuffer::new(2);
+        b.push(sample(0));
+        b.push(sample(1));
+        assert!(b.push(sample(2)), "overflow still signals interrupt");
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.len(), 2);
+    }
+}

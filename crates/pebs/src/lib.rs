@@ -1,0 +1,23 @@
+//! # hmsim-pebs
+//!
+//! A model of Intel's Precise Event-Based Sampling (PEBS) as the paper uses
+//! it: a hardware counter is armed with a *sampling period*; every time the
+//! chosen event (LLC load misses here) has occurred `period` times, the PMU
+//! captures a record containing the referenced data address (and, on
+//! big-core Xeons, the access latency and the part of the hierarchy that
+//! served the load). Records accumulate in a buffer that the tracing runtime
+//! drains.
+//!
+//! The paper samples one out of every 37,589 L2 misses on the Xeon Phi,
+//! keeping the monitoring overhead "typically below 1 %".
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer;
+pub mod counter;
+pub mod sampler;
+
+pub use buffer::SampleBuffer;
+pub use counter::{PebsCapability, PebsEvent, ProcessorFamily};
+pub use sampler::{PebsSampler, RawSample};

@@ -1,0 +1,245 @@
+//! The period-driven sampler.
+
+use crate::counter::{PebsEvent, ProcessorFamily};
+use hmsim_common::{Address, DetRng, Nanos};
+
+/// One raw PEBS record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RawSample {
+    /// Time the record was captured.
+    pub time: Nanos,
+    /// Referenced data address (always present for the events we use on the
+    /// families we model; see [`ProcessorFamily::capability`]).
+    pub address: Address,
+    /// Access latency in cycles, when the family captures it.
+    pub latency_cycles: Option<u32>,
+    /// Number of events represented by this sample (the period).
+    pub weight: u64,
+}
+
+/// A PEBS sampler armed on one event with a fixed period.
+#[derive(Clone, Debug)]
+pub struct PebsSampler {
+    family: ProcessorFamily,
+    event: PebsEvent,
+    period: u64,
+    /// Events seen since the last sample fired.
+    residual: u64,
+    /// Total events observed.
+    total_events: u64,
+    /// Total samples emitted.
+    total_samples: u64,
+    rng: DetRng,
+}
+
+impl PebsSampler {
+    /// Arm a sampler. `period` must be at least 1. The initial counter offset
+    /// is randomised so that periodic access patterns do not alias with the
+    /// sampling period (standard PMU practice).
+    pub fn new(family: ProcessorFamily, event: PebsEvent, period: u64, mut rng: DetRng) -> Self {
+        let period = period.max(1);
+        let residual = if period > 1 {
+            rng.uniform_range(0, period)
+        } else {
+            0
+        };
+        PebsSampler {
+            family,
+            event,
+            period,
+            residual,
+            total_events: 0,
+            total_samples: 0,
+            rng,
+        }
+    }
+
+    /// The sampler used throughout the paper: LLC load misses on KNL with a
+    /// period of 37,589.
+    pub fn paper_default(rng: DetRng) -> Self {
+        Self::new(
+            ProcessorFamily::KnightsLanding,
+            PebsEvent::LlcLoadMiss,
+            37_589,
+            rng,
+        )
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Events observed so far.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Samples emitted so far.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Observe a single event at `time` referencing `address`; returns a
+    /// sample if the period elapsed.
+    pub fn observe(&mut self, time: Nanos, address: Address) -> Option<RawSample> {
+        self.total_events += 1;
+        self.residual += 1;
+        if self.residual < self.period {
+            return None;
+        }
+        self.residual = 0;
+        self.total_samples += 1;
+        Some(RawSample {
+            time,
+            address,
+            latency_cycles: self.synthesize_latency(),
+            weight: self.period,
+        })
+    }
+
+    /// Observe `count` events spread uniformly over the interval
+    /// `[start, start+duration)`, drawing sampled addresses from
+    /// `address_of`, which receives a uniform value in `[0, 1)` locating the
+    /// sample within the interval. This is the bulk path used by the
+    /// analytical profiler, where individual misses are not enumerated.
+    pub fn observe_bulk<F>(
+        &mut self,
+        start: Nanos,
+        duration: Nanos,
+        count: u64,
+        mut address_of: F,
+    ) -> Vec<RawSample>
+    where
+        F: FnMut(&mut DetRng) -> Address,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        self.total_events += count;
+        let available = self.residual + count;
+        let fires = available / self.period;
+        self.residual = available % self.period;
+        let mut out = Vec::with_capacity(fires as usize);
+        for i in 0..fires {
+            // Spread sample timestamps across the interval in event order,
+            // with a little jitter.
+            let frac =
+                (i as f64 + self.rng.uniform() * 0.8 + 0.1) / (fires as f64).max(1.0);
+            let time = start + duration * frac.clamp(0.0, 1.0);
+            let address = address_of(&mut self.rng);
+            out.push(RawSample {
+                time,
+                address,
+                latency_cycles: self.synthesize_latency(),
+                weight: self.period,
+            });
+            self.total_samples += 1;
+        }
+        out
+    }
+
+    fn synthesize_latency(&mut self) -> Option<u32> {
+        let cap = self.family.capability(self.event);
+        cap.captures_latency.then(|| {
+            // Plausible LLC-miss latency distribution: 150–600 cycles.
+            150 + (self.rng.exponential(120.0) as u32).min(450)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler(period: u64) -> PebsSampler {
+        PebsSampler::new(
+            ProcessorFamily::KnightsLanding,
+            PebsEvent::LlcLoadMiss,
+            period,
+            DetRng::new(7),
+        )
+    }
+
+    #[test]
+    fn one_sample_every_period_events() {
+        let mut s = sampler(10);
+        let mut samples = 0;
+        for i in 0..1000u64 {
+            if s.observe(Nanos(i as f64), Address(0x1000 + i)).is_some() {
+                samples += 1;
+            }
+        }
+        assert_eq!(samples, 100);
+        assert_eq!(s.total_samples(), 100);
+        assert_eq!(s.total_events(), 1000);
+    }
+
+    #[test]
+    fn period_one_samples_everything() {
+        let mut s = sampler(1);
+        for i in 0..50u64 {
+            assert!(s.observe(Nanos(i as f64), Address(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn bulk_observation_matches_expected_rate() {
+        let mut s = sampler(37_589);
+        let samples = s.observe_bulk(
+            Nanos::ZERO,
+            Nanos::from_secs(1.0),
+            37_589 * 25 + 12,
+            |rng| Address(rng.uniform_range(0x1000, 0x2000)),
+        );
+        assert!(samples.len() == 25 || samples.len() == 26, "got {}", samples.len());
+        assert!(samples.iter().all(|smp| smp.weight == 37_589));
+        // Timestamps fall inside the interval and are ordered.
+        assert!(samples.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(samples.iter().all(|smp| smp.time >= Nanos::ZERO && smp.time <= Nanos::from_secs(1.0)));
+    }
+
+    #[test]
+    fn bulk_residual_carries_over() {
+        let mut s = sampler(100);
+        // 3 calls of 40 events: residual accumulates to fire on the 3rd.
+        let a = s.observe_bulk(Nanos::ZERO, Nanos(1.0), 40, |_| Address(1));
+        let b = s.observe_bulk(Nanos(1.0), Nanos(1.0), 40, |_| Address(1));
+        let c = s.observe_bulk(Nanos(2.0), Nanos(1.0), 40, |_| Address(1));
+        let total = a.len() + b.len() + c.len();
+        // 120 events at period 100 yield one sample, or two if the random
+        // initial counter offset was already ≥ 80.
+        assert!((1..=2).contains(&total), "got {total}");
+        assert_eq!(s.total_events(), 120);
+    }
+
+    #[test]
+    fn knl_samples_have_no_latency_but_xeon_do() {
+        let mut knl = sampler(1);
+        let smp = knl.observe(Nanos::ZERO, Address(0x1)).unwrap();
+        assert!(smp.latency_cycles.is_none());
+
+        let mut xeon = PebsSampler::new(
+            ProcessorFamily::Xeon,
+            PebsEvent::LlcLoadMiss,
+            1,
+            DetRng::new(1),
+        );
+        let smp = xeon.observe(Nanos::ZERO, Address(0x1)).unwrap();
+        let lat = smp.latency_cycles.unwrap();
+        assert!((150..=600).contains(&lat));
+    }
+
+    #[test]
+    fn paper_default_period() {
+        let s = PebsSampler::paper_default(DetRng::new(1));
+        assert_eq!(s.period(), 37_589);
+    }
+
+    #[test]
+    fn empty_bulk_is_a_noop() {
+        let mut s = sampler(10);
+        assert!(s.observe_bulk(Nanos::ZERO, Nanos(1.0), 0, |_| Address(0)).is_empty());
+        assert_eq!(s.total_events(), 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The profiler itself: allocation hooks, PEBS wiring and trace emission.
+
+use crate::config::ProfilerConfig;
+use crate::overhead::OverheadModel;
+use hmsim_common::{Address, DetRng, Nanos, ObjectId};
+use hmsim_heap::{DataObject, ObjectKind};
+use hmsim_pebs::{PebsSampler, ProcessorFamily, PebsEvent};
+use hmsim_trace::{
+    AllocationRecord, CounterSnapshot, ObjectClass, SampleRecord, TraceEvent, TraceFile,
+    TraceMetadata,
+};
+
+/// The Extrae-like profiler attached to one simulated process.
+#[derive(Clone, Debug)]
+pub struct Profiler {
+    config: ProfilerConfig,
+    trace: TraceFile,
+    sampler: PebsSampler,
+    overhead_model: OverheadModel,
+    rng: DetRng,
+    /// Allocation/deallocation events actually instrumented.
+    alloc_events: u64,
+    /// Counter snapshots emitted.
+    snapshots: u64,
+    /// Instructions and misses accumulated since the last snapshot.
+    pending_instructions: u64,
+    pending_misses: u64,
+    last_snapshot: Nanos,
+}
+
+impl Profiler {
+    /// Attach a profiler for an application run described by `metadata`.
+    pub fn new(mut metadata: TraceMetadata, config: ProfilerConfig) -> Self {
+        metadata.sampling_period = config.sampling_period;
+        metadata.min_alloc_size = config.min_alloc_size.bytes();
+        let rng = DetRng::new(config.seed).derive(&format!(
+            "profiler/{}/{}",
+            metadata.application, metadata.rank
+        ));
+        let sampler = PebsSampler::new(
+            ProcessorFamily::KnightsLanding,
+            PebsEvent::LlcLoadMiss,
+            config.sampling_period,
+            rng.derive("pebs"),
+        );
+        Profiler {
+            config,
+            trace: TraceFile::new(metadata),
+            sampler,
+            overhead_model: OverheadModel::default(),
+            rng,
+            alloc_events: 0,
+            snapshots: 0,
+            pending_instructions: 0,
+            pending_misses: 0,
+            last_snapshot: Nanos::ZERO,
+        }
+    }
+
+    /// The profiler configuration.
+    pub fn config(&self) -> &ProfilerConfig {
+        &self.config
+    }
+
+    /// Record an allocation (or a static/stack definition). Dynamic
+    /// allocations below the minimum size are skipped, exactly like Extrae's
+    /// size filter. Returns whether the event was recorded.
+    pub fn record_alloc(&mut self, object: &DataObject, time: Nanos) -> bool {
+        if object.kind == ObjectKind::Dynamic && object.size() < self.config.min_alloc_size {
+            return false;
+        }
+        let class = match object.kind {
+            ObjectKind::Static => ObjectClass::Static,
+            ObjectKind::Dynamic => ObjectClass::Dynamic,
+            ObjectKind::Stack => ObjectClass::Stack,
+        };
+        self.trace.push(TraceEvent::Alloc(AllocationRecord {
+            time,
+            object: object.id,
+            class,
+            name: object.name.clone(),
+            site: object.site.clone(),
+            address: object.range.start,
+            size: object.size(),
+        }));
+        self.alloc_events += 1;
+        true
+    }
+
+    /// Record a deallocation.
+    pub fn record_free(&mut self, object: ObjectId, address: Address, time: Nanos) {
+        self.trace.push(TraceEvent::Free {
+            time,
+            object,
+            address,
+        });
+        self.alloc_events += 1;
+    }
+
+    /// Record entry into a named phase.
+    pub fn phase_begin(&mut self, name: impl Into<String>, time: Nanos) {
+        self.trace.push(TraceEvent::PhaseBegin {
+            time,
+            name: name.into(),
+        });
+    }
+
+    /// Record exit from a named phase.
+    pub fn phase_end(&mut self, name: impl Into<String>, time: Nanos) {
+        self.trace.push(TraceEvent::PhaseEnd {
+            time,
+            name: name.into(),
+        });
+    }
+
+    /// Record the memory behaviour of one execution interval: per-object LLC
+    /// misses over `[start, start + duration)` plus the instructions retired.
+    /// PEBS samples are generated according to the configured period, with
+    /// sampled addresses drawn uniformly from each object's address range,
+    /// and counter snapshots are emitted at the configured cadence.
+    pub fn record_interval(
+        &mut self,
+        start: Nanos,
+        duration: Nanos,
+        instructions: u64,
+        object_misses: &[(&DataObject, u64)],
+    ) {
+        for (object, misses) in object_misses {
+            if *misses == 0 {
+                continue;
+            }
+            let range = object.range;
+            let id = object.id;
+            let samples = self.sampler.observe_bulk(start, duration, *misses, |rng| {
+                let span = range.len.bytes().max(1);
+                range.start.offset(rng.uniform_range(0, span))
+            });
+            for s in samples {
+                self.trace.push(TraceEvent::Sample(SampleRecord {
+                    time: s.time,
+                    address: s.address,
+                    object: Some(id),
+                    weight: s.weight,
+                    latency_cycles: s.latency_cycles,
+                }));
+            }
+            self.pending_misses += *misses;
+        }
+        self.pending_instructions += instructions;
+
+        // Emit counter snapshots covering the interval.
+        let end = start + duration;
+        let interval = self.config.counter_snapshot_interval;
+        if interval.nanos() > 0.0 && end - self.last_snapshot >= interval {
+            self.trace.push(TraceEvent::Counters(CounterSnapshot {
+                time: end,
+                instructions: self.pending_instructions,
+                llc_misses: self.pending_misses,
+            }));
+            self.snapshots += 1;
+            self.pending_instructions = 0;
+            self.pending_misses = 0;
+            self.last_snapshot = end;
+        }
+    }
+
+    /// Record misses that do not belong to any tracked object (stack/IO
+    /// noise); sampled addresses are drawn from the given address.
+    pub fn record_untracked_misses(&mut self, start: Nanos, duration: Nanos, misses: u64) {
+        let base = 0x7ffd_0000_0000u64 + self.rng.uniform_range(0, 1 << 20);
+        let samples = self
+            .sampler
+            .observe_bulk(start, duration, misses, |rng| {
+                Address(base + rng.uniform_range(0, 1 << 16))
+            });
+        for s in samples {
+            self.trace.push(TraceEvent::Sample(SampleRecord {
+                time: s.time,
+                address: s.address,
+                object: None,
+                weight: s.weight,
+                latency_cycles: s.latency_cycles,
+            }));
+        }
+        self.pending_misses += misses;
+    }
+
+    /// Number of samples emitted so far.
+    pub fn samples(&self) -> u64 {
+        self.sampler.total_samples()
+    }
+
+    /// Number of instrumented allocation/deallocation events so far.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+
+    /// The modelled monitoring overhead relative to an uninstrumented run of
+    /// `base_time`.
+    pub fn overhead_fraction(&self, base_time: Nanos) -> f64 {
+        self.overhead_model.overhead_fraction(
+            self.alloc_events,
+            self.sampler.total_samples(),
+            self.snapshots,
+            base_time,
+        )
+    }
+
+    /// Finish profiling and hand over the trace.
+    pub fn finish(mut self) -> TraceFile {
+        // Flush a final counter snapshot if anything is pending.
+        if self.pending_instructions > 0 || self.pending_misses > 0 {
+            let time = self.trace.duration();
+            self.trace.push(TraceEvent::Counters(CounterSnapshot {
+                time,
+                instructions: self.pending_instructions,
+                llc_misses: self.pending_misses,
+            }));
+        }
+        self.trace.sort_by_time();
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_callstack::SiteKey;
+    use hmsim_common::{AddressRange, ByteSize, TierId};
+
+    fn object(id: u32, start: u64, size: ByteSize, kind: ObjectKind) -> DataObject {
+        DataObject {
+            id: ObjectId(id),
+            name: format!("obj{id}"),
+            kind,
+            site: Some(SiteKey::from_text(format!("app!site{id}+0x10"))),
+            range: AddressRange::new(Address(start), size),
+            tier: TierId::DDR,
+            allocated_at: Nanos::ZERO,
+            freed_at: None,
+        }
+    }
+
+    fn profiler(period: u64) -> Profiler {
+        Profiler::new(
+            TraceMetadata {
+                application: "unit".to_string(),
+                ..Default::default()
+            },
+            ProfilerConfig::dense(period),
+        )
+    }
+
+    #[test]
+    fn size_filter_skips_small_dynamic_allocations() {
+        let mut p = profiler(100);
+        let small = object(0, 0x1000, ByteSize::from_bytes(512), ObjectKind::Dynamic);
+        let big = object(1, 0x2000, ByteSize::from_mib(1), ObjectKind::Dynamic);
+        let small_static = object(2, 0x3000, ByteSize::from_bytes(512), ObjectKind::Static);
+        assert!(!p.record_alloc(&small, Nanos::ZERO));
+        assert!(p.record_alloc(&big, Nanos::ZERO));
+        assert!(p.record_alloc(&small_static, Nanos::ZERO), "statics bypass the filter");
+        assert_eq!(p.alloc_events(), 2);
+    }
+
+    #[test]
+    fn samples_are_attributed_to_objects_and_land_in_their_ranges() {
+        let mut p = profiler(1000);
+        let a = object(0, 0x10_0000, ByteSize::from_mib(4), ObjectKind::Dynamic);
+        let b = object(1, 0x90_0000, ByteSize::from_mib(4), ObjectKind::Dynamic);
+        p.record_alloc(&a, Nanos::ZERO);
+        p.record_alloc(&b, Nanos::ZERO);
+        p.record_interval(
+            Nanos::ZERO,
+            Nanos::from_millis(100.0),
+            50_000_000,
+            &[(&a, 80_000), (&b, 20_000)],
+        );
+        let trace = p.finish();
+        let mut per_object = std::collections::HashMap::new();
+        for e in trace.events() {
+            if let TraceEvent::Sample(s) = e {
+                *per_object.entry(s.object).or_insert(0u64) += 1;
+                let obj = if s.object == Some(ObjectId(0)) { &a } else { &b };
+                assert!(obj.range.contains(s.address), "sample outside object range");
+            }
+        }
+        let a_samples = per_object.get(&Some(ObjectId(0))).copied().unwrap_or(0);
+        let b_samples = per_object.get(&Some(ObjectId(1))).copied().unwrap_or(0);
+        // 80k misses at period 1000 ≈ 80 samples; 20k ≈ 20. Allow slack for
+        // the randomised counter offset.
+        assert!((70..=90).contains(&a_samples), "a got {a_samples}");
+        assert!((10..=30).contains(&b_samples), "b got {b_samples}");
+        assert!(a_samples > 2 * b_samples);
+    }
+
+    #[test]
+    fn sampling_rate_matches_period() {
+        let mut p = profiler(37_589);
+        let a = object(0, 0x10_0000, ByteSize::from_mib(64), ObjectKind::Dynamic);
+        p.record_alloc(&a, Nanos::ZERO);
+        // 37,589 * 100 misses -> ~100 samples.
+        p.record_interval(
+            Nanos::ZERO,
+            Nanos::from_secs(1.0),
+            1_000_000_000,
+            &[(&a, 37_589 * 100)],
+        );
+        let n = p.samples();
+        assert!((99..=101).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn counter_snapshots_and_phases_are_recorded() {
+        let mut p = profiler(1000);
+        let a = object(0, 0x10_0000, ByteSize::from_mib(1), ObjectKind::Dynamic);
+        p.record_alloc(&a, Nanos::ZERO);
+        p.phase_begin("iteration", Nanos::ZERO);
+        for i in 0..10 {
+            let start = Nanos::from_millis(i as f64 * 20.0);
+            p.record_interval(start, Nanos::from_millis(20.0), 1_000_000, &[(&a, 5_000)]);
+        }
+        p.phase_end("iteration", Nanos::from_millis(200.0));
+        let trace = p.finish();
+        let snapshots = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Counters(_)))
+            .count();
+        assert!(snapshots >= 3, "expected several snapshots, got {snapshots}");
+        assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::PhaseBegin { .. })));
+        // Events are time sorted after finish().
+        assert!(trace
+            .events()
+            .windows(2)
+            .all(|w| w[0].time() <= w[1].time()));
+    }
+
+    #[test]
+    fn untracked_misses_produce_unattributed_samples() {
+        let mut p = profiler(100);
+        p.record_untracked_misses(Nanos::ZERO, Nanos::from_millis(10.0), 1_000);
+        let trace = p.finish();
+        let unattributed = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Sample(s) if s.object.is_none()))
+            .count();
+        assert!(unattributed >= 9, "got {unattributed}");
+    }
+
+    #[test]
+    fn overhead_grows_with_allocation_rate() {
+        let mut light = profiler(37_589);
+        let mut heavy = profiler(37_589);
+        let a = object(0, 0x10_0000, ByteSize::from_mib(1), ObjectKind::Dynamic);
+        light.record_alloc(&a, Nanos::ZERO);
+        for _ in 0..5_000 {
+            heavy.record_alloc(&a, Nanos::ZERO);
+        }
+        let base = Nanos::from_secs(100.0);
+        assert!(heavy.overhead_fraction(base) > light.overhead_fraction(base));
+        assert!(light.overhead_fraction(base) < 0.01);
+    }
+
+    #[test]
+    fn free_events_are_recorded() {
+        let mut p = profiler(100);
+        p.record_free(ObjectId(3), Address(0x1234), Nanos::from_millis(1.0));
+        let trace = p.finish();
+        assert_eq!(trace.events().len(), 1);
+        assert!(matches!(trace.events()[0], TraceEvent::Free { .. }));
+    }
+}

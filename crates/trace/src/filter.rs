@@ -1,0 +1,172 @@
+//! Event filtering, the moral equivalent of Paraver configuration files.
+
+use crate::event::TraceEvent;
+use crate::trace_file::TraceFile;
+use hmsim_common::Nanos;
+
+/// A composable filter over trace events.
+#[derive(Clone, Debug, Default)]
+pub struct EventFilter {
+    from: Option<Nanos>,
+    until: Option<Nanos>,
+    samples_only: bool,
+    allocations_only: bool,
+    phase: Option<String>,
+}
+
+impl EventFilter {
+    /// A filter that accepts every event.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Keep only events at or after `t`.
+    pub fn from(mut self, t: Nanos) -> Self {
+        self.from = Some(t);
+        self
+    }
+
+    /// Keep only events strictly before `t`.
+    pub fn until(mut self, t: Nanos) -> Self {
+        self.until = Some(t);
+        self
+    }
+
+    /// Keep only PEBS samples.
+    pub fn samples_only(mut self) -> Self {
+        self.samples_only = true;
+        self
+    }
+
+    /// Keep only allocation records.
+    pub fn allocations_only(mut self) -> Self {
+        self.allocations_only = true;
+        self
+    }
+
+    /// Keep only events inside executions of the named phase.
+    pub fn within_phase(mut self, name: impl Into<String>) -> Self {
+        self.phase = Some(name.into());
+        self
+    }
+
+    fn accepts_kind(&self, e: &TraceEvent) -> bool {
+        if self.samples_only && !e.is_sample() {
+            return false;
+        }
+        if self.allocations_only && !e.is_alloc() {
+            return false;
+        }
+        true
+    }
+
+    fn accepts_time(&self, e: &TraceEvent) -> bool {
+        let t = e.time();
+        if let Some(from) = self.from {
+            if t < from {
+                return false;
+            }
+        }
+        if let Some(until) = self.until {
+            if t >= until {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Apply the filter to a trace, returning the selected events in order.
+    pub fn apply<'a>(&self, trace: &'a TraceFile) -> Vec<&'a TraceEvent> {
+        match &self.phase {
+            None => trace
+                .events()
+                .iter()
+                .filter(|e| self.accepts_time(e) && self.accepts_kind(e))
+                .collect(),
+            Some(phase) => {
+                let mut depth = 0usize;
+                let mut out = Vec::new();
+                for e in trace.events() {
+                    match e {
+                        TraceEvent::PhaseBegin { name, .. } if name == phase => depth += 1,
+                        TraceEvent::PhaseEnd { name, .. } if name == phase => {
+                            depth = depth.saturating_sub(1)
+                        }
+                        _ => {
+                            if depth > 0 && self.accepts_time(e) && self.accepts_kind(e) {
+                                out.push(e);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SampleRecord;
+    use crate::trace_file::TraceMetadata;
+    use hmsim_common::Address;
+
+    fn trace() -> TraceFile {
+        let mut t = TraceFile::new(TraceMetadata::default());
+        t.push(TraceEvent::PhaseBegin {
+            time: Nanos(0.0),
+            name: "outer".to_string(),
+        });
+        for i in 0..10u64 {
+            t.push(TraceEvent::Sample(SampleRecord {
+                time: Nanos(100.0 * i as f64 + 10.0),
+                address: Address(0x1000 + i),
+                object: None,
+                weight: 1,
+                latency_cycles: None,
+            }));
+        }
+        t.push(TraceEvent::PhaseEnd {
+            time: Nanos(2000.0),
+            name: "outer".to_string(),
+        });
+        t.push(TraceEvent::Sample(SampleRecord {
+            time: Nanos(2500.0),
+            address: Address(0x9999),
+            object: None,
+            weight: 1,
+            latency_cycles: None,
+        }));
+        t
+    }
+
+    #[test]
+    fn time_window_filter() {
+        let t = trace();
+        let selected = EventFilter::all()
+            .from(Nanos(200.0))
+            .until(Nanos(600.0))
+            .samples_only()
+            .apply(&t);
+        assert_eq!(selected.len(), 4);
+        assert!(selected.iter().all(|e| e.time() >= Nanos(200.0) && e.time() < Nanos(600.0)));
+    }
+
+    #[test]
+    fn kind_filters() {
+        let t = trace();
+        assert_eq!(EventFilter::all().samples_only().apply(&t).len(), 11);
+        assert_eq!(EventFilter::all().allocations_only().apply(&t).len(), 0);
+        assert_eq!(EventFilter::all().apply(&t).len(), t.len());
+    }
+
+    #[test]
+    fn phase_filter_excludes_outside_events() {
+        let t = trace();
+        let inside = EventFilter::all().within_phase("outer").samples_only().apply(&t);
+        assert_eq!(inside.len(), 10, "sample at t=2500 is outside the phase");
+        let none = EventFilter::all().within_phase("does_not_exist").apply(&t);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,367 @@
+//! Line-oriented text serialisation of traces.
+//!
+//! The format is a simplified analogue of Paraver's `.prv`: a `#`-prefixed
+//! header with the metadata, then one record per line with colon-separated
+//! fields. Field contents that may contain colons (site keys, names) are
+//! percent-escaped.
+//!
+//! ```text
+//! #hmsim-trace app=HPCG ranks=64 threads=4 period=37589 minalloc=4096 rank=0
+//! A:<time_ns>:<object>:<class>:<address>:<size>:<name>:<site>
+//! F:<time_ns>:<object>:<address>
+//! S:<time_ns>:<address>:<object|->:<weight>:<latency|->
+//! B:<time_ns>:<phase name>
+//! E:<time_ns>:<phase name>
+//! C:<time_ns>:<instructions>:<llc_misses>
+//! ```
+
+use crate::event::{AllocationRecord, CounterSnapshot, ObjectClass, SampleRecord, TraceEvent};
+use crate::trace_file::{TraceFile, TraceMetadata};
+use hmsim_callstack::SiteKey;
+use hmsim_common::{Address, ByteSize, HmError, HmResult, Nanos, ObjectId};
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            ':' => out.push_str("%3A"),
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let hex: String = chars.by_ref().take(2).collect();
+            match hex.as_str() {
+                "3A" | "3a" => out.push(':'),
+                "25" => out.push('%'),
+                "20" => out.push(' '),
+                "0A" | "0a" => out.push('\n'),
+                other => {
+                    out.push('%');
+                    out.push_str(other);
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Serialise a trace to the text format.
+pub fn write_text(trace: &TraceFile) -> String {
+    let m = &trace.metadata;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "#hmsim-trace app={} ranks={} threads={} period={} minalloc={} rank={}",
+        escape(&m.application),
+        m.ranks,
+        m.threads_per_rank,
+        m.sampling_period,
+        m.min_alloc_size,
+        m.rank
+    );
+    for e in trace.events() {
+        match e {
+            TraceEvent::Alloc(a) => {
+                let _ = writeln!(
+                    out,
+                    "A:{}:{}:{}:{}:{}:{}:{}",
+                    a.time.nanos(),
+                    a.object.index(),
+                    a.class.code(),
+                    a.address.value(),
+                    a.size.bytes(),
+                    escape(&a.name),
+                    escape(a.site.as_ref().map(|s| s.as_str()).unwrap_or("-")),
+                );
+            }
+            TraceEvent::Free {
+                time,
+                object,
+                address,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "F:{}:{}:{}",
+                    time.nanos(),
+                    object.index(),
+                    address.value()
+                );
+            }
+            TraceEvent::Sample(s) => {
+                let _ = writeln!(
+                    out,
+                    "S:{}:{}:{}:{}:{}",
+                    s.time.nanos(),
+                    s.address.value(),
+                    s.object.map(|o| o.index().to_string()).unwrap_or_else(|| "-".to_string()),
+                    s.weight,
+                    s.latency_cycles
+                        .map(|l| l.to_string())
+                        .unwrap_or_else(|| "-".to_string()),
+                );
+            }
+            TraceEvent::PhaseBegin { time, name } => {
+                let _ = writeln!(out, "B:{}:{}", time.nanos(), escape(name));
+            }
+            TraceEvent::PhaseEnd { time, name } => {
+                let _ = writeln!(out, "E:{}:{}", time.nanos(), escape(name));
+            }
+            TraceEvent::Counters(c) => {
+                let _ = writeln!(
+                    out,
+                    "C:{}:{}:{}",
+                    c.time.nanos(),
+                    c.instructions,
+                    c.llc_misses
+                );
+            }
+        }
+    }
+    out
+}
+
+fn parse_f64(s: &str, line: usize) -> HmResult<f64> {
+    s.parse()
+        .map_err(|_| HmError::parse_at(line, format!("invalid number {s:?}")))
+}
+
+fn parse_u64(s: &str, line: usize) -> HmResult<u64> {
+    s.parse()
+        .map_err(|_| HmError::parse_at(line, format!("invalid integer {s:?}")))
+}
+
+/// Parse a trace from the text format.
+pub fn read_text(text: &str) -> HmResult<TraceFile> {
+    let mut metadata = TraceMetadata::default();
+    let mut trace: Option<TraceFile> = None;
+    let mut events: Vec<TraceEvent> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('#') {
+            for kv in header.split_whitespace().skip(1) {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| HmError::parse_at(lineno, format!("bad header field {kv:?}")))?;
+                match k {
+                    "app" => metadata.application = unescape(v),
+                    "ranks" => metadata.ranks = parse_u64(v, lineno)? as u32,
+                    "threads" => metadata.threads_per_rank = parse_u64(v, lineno)? as u32,
+                    "period" => metadata.sampling_period = parse_u64(v, lineno)?,
+                    "minalloc" => metadata.min_alloc_size = parse_u64(v, lineno)?,
+                    "rank" => metadata.rank = parse_u64(v, lineno)? as u32,
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split(':').collect();
+        let kind = fields[0];
+        let need = |n: usize| -> HmResult<()> {
+            if fields.len() < n {
+                Err(HmError::parse_at(
+                    lineno,
+                    format!("record {kind:?} needs {n} fields, got {}", fields.len()),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let event = match kind {
+            "A" => {
+                need(8)?;
+                let site_text = unescape(fields[7]);
+                TraceEvent::Alloc(AllocationRecord {
+                    time: Nanos(parse_f64(fields[1], lineno)?),
+                    object: ObjectId(parse_u64(fields[2], lineno)? as u32),
+                    class: ObjectClass::from_code(fields[3]).ok_or_else(|| {
+                        HmError::parse_at(lineno, format!("unknown object class {:?}", fields[3]))
+                    })?,
+                    address: Address(parse_u64(fields[4], lineno)?),
+                    size: ByteSize::from_bytes(parse_u64(fields[5], lineno)?),
+                    name: unescape(fields[6]),
+                    site: (site_text != "-").then(|| SiteKey::from_text(site_text)),
+                })
+            }
+            "F" => {
+                need(4)?;
+                TraceEvent::Free {
+                    time: Nanos(parse_f64(fields[1], lineno)?),
+                    object: ObjectId(parse_u64(fields[2], lineno)? as u32),
+                    address: Address(parse_u64(fields[3], lineno)?),
+                }
+            }
+            "S" => {
+                need(6)?;
+                TraceEvent::Sample(SampleRecord {
+                    time: Nanos(parse_f64(fields[1], lineno)?),
+                    address: Address(parse_u64(fields[2], lineno)?),
+                    object: if fields[3] == "-" {
+                        None
+                    } else {
+                        Some(ObjectId(parse_u64(fields[3], lineno)? as u32))
+                    },
+                    weight: parse_u64(fields[4], lineno)?,
+                    latency_cycles: if fields[5] == "-" {
+                        None
+                    } else {
+                        Some(parse_u64(fields[5], lineno)? as u32)
+                    },
+                })
+            }
+            "B" => {
+                need(3)?;
+                TraceEvent::PhaseBegin {
+                    time: Nanos(parse_f64(fields[1], lineno)?),
+                    name: unescape(fields[2]),
+                }
+            }
+            "E" => {
+                need(3)?;
+                TraceEvent::PhaseEnd {
+                    time: Nanos(parse_f64(fields[1], lineno)?),
+                    name: unescape(fields[2]),
+                }
+            }
+            "C" => {
+                need(4)?;
+                TraceEvent::Counters(CounterSnapshot {
+                    time: Nanos(parse_f64(fields[1], lineno)?),
+                    instructions: parse_u64(fields[2], lineno)?,
+                    llc_misses: parse_u64(fields[3], lineno)?,
+                })
+            }
+            other => {
+                return Err(HmError::parse_at(
+                    lineno,
+                    format!("unknown record type {other:?}"),
+                ))
+            }
+        };
+        events.push(event);
+        if trace.is_none() {
+            trace = Some(TraceFile::new(metadata.clone()));
+        }
+    }
+
+    let mut t = TraceFile::new(metadata);
+    for e in events {
+        t.push(e);
+    }
+    let _ = trace;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> TraceFile {
+        let mut t = TraceFile::new(TraceMetadata {
+            application: "HPCG: test".to_string(),
+            ranks: 64,
+            threads_per_rank: 4,
+            sampling_period: 37_589,
+            min_alloc_size: 4096,
+            rank: 3,
+        });
+        t.push(TraceEvent::PhaseBegin {
+            time: Nanos(1000.0),
+            name: "CG: iteration".to_string(),
+        });
+        t.push(TraceEvent::Alloc(AllocationRecord {
+            time: Nanos(1500.0),
+            object: ObjectId(7),
+            class: ObjectClass::Dynamic,
+            name: "matrix values".to_string(),
+            site: Some(SiteKey::from_text("libc.so.6!malloc+0x1d|app!alloc_matrix+0x40")),
+            address: Address(0x7f10_0000_0000),
+            size: ByteSize::from_mib(128),
+        }));
+        t.push(TraceEvent::Sample(SampleRecord {
+            time: Nanos(2000.0),
+            address: Address(0x7f10_0000_4000),
+            object: Some(ObjectId(7)),
+            weight: 37_589,
+            latency_cycles: Some(312),
+        }));
+        t.push(TraceEvent::Counters(CounterSnapshot {
+            time: Nanos(2500.0),
+            instructions: 1_000_000,
+            llc_misses: 4242,
+        }));
+        t.push(TraceEvent::Free {
+            time: Nanos(3000.0),
+            object: ObjectId(7),
+            address: Address(0x7f10_0000_0000),
+        });
+        t.push(TraceEvent::PhaseEnd {
+            time: Nanos(3100.0),
+            name: "CG: iteration".to_string(),
+        });
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample_trace();
+        let text = write_text(&original);
+        let parsed = read_text(&text).unwrap();
+        assert_eq!(parsed.metadata, original.metadata);
+        assert_eq!(parsed.events(), original.events());
+    }
+
+    #[test]
+    fn escaping_handles_colons_and_percent() {
+        assert_eq!(unescape(&escape("a:b%c")), "a:b%c");
+        assert_eq!(escape("a:b"), "a%3Ab");
+        let original = sample_trace();
+        let text = write_text(&original);
+        // The phase name with a colon must not add extra fields.
+        assert!(text.lines().any(|l| l.starts_with("B:") && l.matches(':').count() == 2));
+    }
+
+    #[test]
+    fn header_is_parsed() {
+        let parsed = read_text(&write_text(&sample_trace())).unwrap();
+        assert_eq!(parsed.metadata.application, "HPCG: test");
+        assert_eq!(parsed.metadata.ranks, 64);
+        assert_eq!(parsed.metadata.rank, 3);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let bad = "#hmsim-trace app=x ranks=1 threads=1 period=1 minalloc=1 rank=0\nZ:1:2\n";
+        let err = read_text(bad).unwrap_err();
+        match err {
+            HmError::Parse { line, .. } => assert_eq!(line, Some(2)),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(read_text("A:1:2\n").is_err(), "truncated record must fail");
+        assert!(read_text("S:1:2:3:notanumber:-\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_trace_with_defaults() {
+        let t = read_text("").unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.metadata.sampling_period, 37_589);
+    }
+}

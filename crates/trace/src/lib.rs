@@ -1,0 +1,30 @@
+//! # hmsim-trace
+//!
+//! The trace-file substrate standing in for Extrae's Paraver traces.
+//!
+//! A trace is a time-ordered sequence of events describing one simulated
+//! process execution: dynamic-memory allocations and deallocations (with
+//! their call-stacks and sizes), static-variable definitions, PEBS samples of
+//! LLC misses (with the referenced address and, when the object is known, the
+//! object it falls in), phase begin/end markers and periodic performance-
+//! counter snapshots. The analysis stage (`hmsim-analysis`, our Paramedir)
+//! consumes these traces; the profiler (`hmsim-profiler`, our Extrae)
+//! produces them.
+//!
+//! Traces can be kept in memory or serialised to a simple line-oriented text
+//! format reminiscent of Paraver's `.prv` files (`record-type:time:fields…`
+//! with a `#` header), implemented in [`format`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod filter;
+pub mod format;
+pub mod summary;
+pub mod trace_file;
+
+pub use event::{AllocationRecord, CounterSnapshot, ObjectClass, SampleRecord, TraceEvent};
+pub use filter::EventFilter;
+pub use summary::TraceSummary;
+pub use trace_file::{TraceFile, TraceMetadata};

@@ -1,0 +1,125 @@
+//! Whole-trace summary statistics (the numbers reported per application in
+//! Table I of the paper: allocations per second, samples per process, …).
+
+use crate::event::TraceEvent;
+use crate::trace_file::TraceFile;
+use hmsim_common::{ByteSize, Nanos};
+
+/// Aggregate statistics of one trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSummary {
+    /// Total events.
+    pub events: usize,
+    /// Allocation records.
+    pub allocations: usize,
+    /// Deallocation records.
+    pub frees: usize,
+    /// PEBS samples.
+    pub samples: usize,
+    /// Trace duration.
+    pub duration: Nanos,
+    /// Allocations per second of traced execution.
+    pub allocations_per_second: f64,
+    /// Samples per second of traced execution.
+    pub samples_per_second: f64,
+    /// Total bytes requested by the recorded allocations.
+    pub allocated_bytes: ByteSize,
+    /// Total LLC misses represented by the samples (samples × weight).
+    pub sampled_misses: u64,
+}
+
+impl TraceSummary {
+    /// Compute the summary of a trace.
+    pub fn of(trace: &TraceFile) -> TraceSummary {
+        let mut allocations = 0usize;
+        let mut frees = 0usize;
+        let mut samples = 0usize;
+        let mut allocated_bytes = ByteSize::ZERO;
+        let mut sampled_misses = 0u64;
+        for e in trace.events() {
+            match e {
+                TraceEvent::Alloc(a) => {
+                    allocations += 1;
+                    allocated_bytes += a.size;
+                }
+                TraceEvent::Free { .. } => frees += 1,
+                TraceEvent::Sample(s) => {
+                    samples += 1;
+                    sampled_misses += s.weight;
+                }
+                _ => {}
+            }
+        }
+        let duration = trace.duration();
+        let secs = duration.secs();
+        let rate = |count: usize| if secs > 0.0 { count as f64 / secs } else { 0.0 };
+        TraceSummary {
+            events: trace.len(),
+            allocations,
+            frees,
+            samples,
+            duration,
+            allocations_per_second: rate(allocations),
+            samples_per_second: rate(samples),
+            allocated_bytes,
+            sampled_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AllocationRecord, ObjectClass, SampleRecord};
+    use crate::trace_file::TraceMetadata;
+    use hmsim_common::{Address, ObjectId};
+
+    #[test]
+    fn summary_counts_and_rates() {
+        let mut t = TraceFile::new(TraceMetadata::default());
+        for i in 0..4u64 {
+            t.push(TraceEvent::Alloc(AllocationRecord {
+                time: Nanos::from_secs(i as f64 * 0.5),
+                object: ObjectId(i as u32),
+                class: ObjectClass::Dynamic,
+                name: format!("obj{i}"),
+                site: None,
+                address: Address(0x1000 * (i + 1)),
+                size: ByteSize::from_mib(1),
+            }));
+        }
+        t.push(TraceEvent::Free {
+            time: Nanos::from_secs(1.9),
+            object: ObjectId(0),
+            address: Address(0x1000),
+        });
+        for i in 0..8u64 {
+            t.push(TraceEvent::Sample(SampleRecord {
+                time: Nanos::from_secs(i as f64 * 0.25),
+                address: Address(0x1000),
+                object: None,
+                weight: 37_589,
+                latency_cycles: None,
+            }));
+        }
+        t.sort_by_time();
+        let s = TraceSummary::of(&t);
+        assert_eq!(s.allocations, 4);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.samples, 8);
+        assert_eq!(s.allocated_bytes, ByteSize::from_mib(4));
+        assert_eq!(s.sampled_misses, 8 * 37_589);
+        assert!((s.duration.secs() - 1.9).abs() < 1e-9);
+        assert!((s.allocations_per_second - 4.0 / 1.9).abs() < 1e-9);
+        assert!((s.samples_per_second - 8.0 / 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_summary_is_zero() {
+        let t = TraceFile::new(TraceMetadata::default());
+        let s = TraceSummary::of(&t);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.allocations_per_second, 0.0);
+        assert_eq!(s.sampled_misses, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: run the complete four-stage framework (profile → analyse →
+//! advise → re-run) for one application and print what each stage produced.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- HPCG 128M
+//! ```
+
+use hmem_repro::advisor::SelectionStrategy;
+use hmem_repro::apps::app_by_name;
+use hmem_repro::autohbw::RouterFactory;
+use hmem_repro::common::ByteSize;
+use hmem_repro::core::pipeline::FrameworkPipeline;
+use hmem_repro::core::simrun::{AppRun, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app_name = args.get(1).map(String::as_str).unwrap_or("miniFE");
+    let budget = args
+        .get(2)
+        .map(|s| ByteSize::parse(s).expect("budget like 128M"))
+        .unwrap_or(ByteSize::from_mib(128));
+
+    let spec = app_by_name(app_name).unwrap_or_else(|| {
+        eprintln!("unknown application {app_name}; try HPCG, Lulesh, BT, miniFE, CGPOP, SNAP, MAXW-DGTD or GTC-P");
+        std::process::exit(1);
+    });
+
+    println!("Application      : {} ({} ranks x {} threads, {})", spec.name, spec.ranks, spec.threads_per_rank, spec.problem_size);
+    println!("MCDRAM budget    : {budget} per rank");
+    println!("Footprint        : {:.0} MiB per rank\n", spec.footprint().mib());
+
+    // Reference run: everything in DDR.
+    let ddr = AppRun::new(&spec, RunConfig::flat(budget).with_iterations(10))
+        .execute(RouterFactory::ddr())
+        .expect("DDR run succeeds");
+    println!("[reference] DDR-only FOM          : {:.2} {}", ddr.fom, spec.fom_name);
+
+    // The framework: profile, analyse, advise, re-run.
+    let pipeline = FrameworkPipeline::new(
+        budget,
+        SelectionStrategy::Misses {
+            threshold_percent: 0.0,
+        },
+    )
+    .with_iterations(10);
+    let outcome = pipeline.run(&spec).expect("pipeline succeeds");
+
+    println!("[stage 1] profiling trace         : {} allocation events, {} PEBS samples ({:.2}% overhead)",
+        outcome.trace_summary.allocations,
+        outcome.trace_summary.samples,
+        outcome.profiling_overhead * 100.0);
+    println!("[stage 2] objects analysed        : {} ({} total sampled misses)",
+        outcome.object_report.objects.len(),
+        outcome.object_report.total_misses);
+    println!("[stage 3] advisor selection       :");
+    for entry in outcome.placement.automatic_entries() {
+        println!("            -> {} ({}, {} misses) to {}",
+            entry.name, entry.size, entry.llc_misses, entry.tier_name);
+    }
+    for entry in outcome.placement.manual_entries() {
+        println!("            (manual suggestion: {} is {} and cannot be promoted automatically)",
+            entry.name, entry.size);
+    }
+    println!("[stage 4] re-run with auto-hbwmalloc:");
+    println!("            FOM                   : {:.2} {}", outcome.result.fom, spec.fom_name);
+    println!("            speedup vs DDR        : {:.2}x", outcome.result.fom / ddr.fom);
+    println!("            MCDRAM HWM            : {:.1} MiB", outcome.result.mcdram_hwm.mib());
+    println!("            interposition overhead: {}", outcome.result.allocator_time);
+}

@@ -1,0 +1,27 @@
+//! Regenerate Figure 1: STREAM Triad bandwidth versus core count for data in
+//! DDR, in flat-mode MCDRAM and with MCDRAM configured as a cache.
+//!
+//! ```bash
+//! cargo run --release --example stream_bandwidth
+//! ```
+
+use hmem_repro::apps::StreamBenchmark;
+use hmem_repro::machine::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::knl_7250();
+    let stream = StreamBenchmark::default();
+
+    println!("STREAM Triad on the simulated Xeon Phi 7250 ({} cores @ {:.2} GHz)",
+        machine.cores, machine.frequency_hz / 1e9);
+    println!("working set: {} ({} per array)\n", stream.working_set(), stream.array_size);
+    println!("{:>6}  {:>10}  {:>14}  {:>15}", "cores", "DDR GB/s", "MCDRAM/Flat", "MCDRAM/Cache");
+    for (cores, ddr, flat, cache) in stream.figure1(&machine) {
+        let bar = |v: f64| "#".repeat((v / 12.0).round() as usize);
+        println!("{cores:>6}  {ddr:>10.1}  {flat:>14.1}  {cache:>15.1}   |{}", bar(flat));
+    }
+
+    let last = stream.figure1(&machine).last().copied().unwrap();
+    println!("\nAt {} cores: flat MCDRAM sustains {:.1}x the DDR bandwidth; cache mode reaches {:.0}% of flat.",
+        last.0, last.2 / last.1, 100.0 * last.3 / last.2);
+}

@@ -1,0 +1,36 @@
+//! # hmem-repro
+//!
+//! Umbrella crate of the reproduction of Servat et al., *Automating the
+//! Application Data Placement in Hybrid Memory Systems* (IEEE CLUSTER 2017).
+//!
+//! Everything lives in the workspace crates; this crate re-exports them under
+//! one roof so the examples, the integration tests and downstream users can
+//! depend on a single name:
+//!
+//! * [`machine`] — the KNL-like hybrid-memory machine model;
+//! * [`callstack`], [`heap`], [`trace`], [`pebs`] — the system substrates
+//!   (call-stack/ASLR machinery, simulated process heap, Paraver-like traces,
+//!   PEBS sampling);
+//! * [`profiler`] (Extrae), [`analysis`] (Paramedir), [`advisor`]
+//!   (hmem_advisor) and [`autohbw`] (auto-hbwmalloc) — the four framework
+//!   stages;
+//! * [`apps`] — the eight workload models plus STREAM;
+//! * [`core`] — the end-to-end pipeline, the experiment grid and the
+//!   figure/table generators.
+//!
+//! See `examples/quickstart.rs` for the 30-second tour.
+
+#![warn(missing_docs)]
+
+pub use auto_hbwmalloc as autohbw;
+pub use hmem_advisor as advisor;
+pub use hmem_core as core;
+pub use hmsim_analysis as analysis;
+pub use hmsim_apps as apps;
+pub use hmsim_callstack as callstack;
+pub use hmsim_common as common;
+pub use hmsim_heap as heap;
+pub use hmsim_machine as machine;
+pub use hmsim_pebs as pebs;
+pub use hmsim_profiler as profiler;
+pub use hmsim_trace as trace;

@@ -1,0 +1,222 @@
+//! Integration tests asserting the paper's headline qualitative results
+//! (§IV-C/D) hold for the reproduced evaluation:
+//!
+//! * the framework is the best approach for HPCG, miniFE and GTC-P;
+//! * cache mode is the best approach for LULESH and MAXW-DGTD;
+//! * `numactl -p 1` stays (at least marginally) ahead of the framework and of
+//!   cache mode for BT, CGPOP and SNAP;
+//! * `autohbw` never wins, and for LULESH it is the worst MCDRAM-using
+//!   approach;
+//! * performance grows (weakly) with the MCDRAM budget for the budget-hungry
+//!   applications, while CGPOP is already saturated at 32 MiB/rank.
+//!
+//! The runs use a reduced iteration count; the figures of merit are
+//! iteration-rate based, so the orderings are unchanged.
+
+use hmem_core::experiment::{run_app_experiment, AppExperiment, ExperimentConfig};
+use hmem_advisor::SelectionStrategy;
+use hmsim_apps::app_by_name;
+use hmsim_common::ByteSize;
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig {
+        budgets: vec![
+            ByteSize::from_mib(32),
+            ByteSize::from_mib(64),
+            ByteSize::from_mib(128),
+            ByteSize::from_mib(256),
+        ],
+        single_process_budgets: vec![
+            ByteSize::from_mib(256),
+            ByteSize::from_gib(2),
+            ByteSize::from_gib(16),
+        ],
+        // Two strategies keep the grid affordable in debug builds while still
+        // covering the miss-ranked and density-ranked behaviours the
+        // assertions below rely on.
+        strategies: vec![
+            SelectionStrategy::Misses {
+                threshold_percent: 0.0,
+            },
+            SelectionStrategy::Density,
+        ],
+        iterations_override: Some(8),
+        seed: 0xF1607,
+    }
+}
+
+fn run(app: &str) -> AppExperiment {
+    let spec = app_by_name(app).expect("application model exists");
+    run_app_experiment(&spec, &config()).expect("experiment grid runs")
+}
+
+fn speedup(exp: &AppExperiment, label: &str) -> f64 {
+    exp.baseline(label).expect(label).fom / exp.ddr_fom
+}
+
+#[test]
+fn framework_wins_hpcg_and_beats_every_hardware_and_software_baseline() {
+    let exp = run("HPCG");
+    let winner = exp.winner().unwrap();
+    assert!(winner.is_framework, "HPCG winner was {}", winner.label);
+    // The paper reports +78.9% over DDR; the reproduction must show a
+    // substantial (>40%) improvement and beat cache mode clearly.
+    assert!(exp.framework_speedup() > 1.4, "speedup {}", exp.framework_speedup());
+    assert!(exp.framework_speedup() > speedup(&exp, "Cache") * 1.1);
+    assert!(speedup(&exp, "Cache") > 1.15, "cache mode must still help HPCG");
+}
+
+#[test]
+fn framework_wins_minife_with_a_small_hot_set() {
+    let exp = run("miniFE");
+    let winner = exp.winner().unwrap();
+    assert!(winner.is_framework, "miniFE winner was {}", winner.label);
+    assert!(exp.framework_speedup() > 1.5);
+    // The hot set fits from 128 MiB on: the best framework configuration must
+    // not need more than ~150 MiB of MCDRAM.
+    let best = exp.best_framework().unwrap();
+    assert!(best.mcdram_hwm <= ByteSize::from_mib(150), "HWM {}", best.mcdram_hwm);
+}
+
+#[test]
+fn framework_wins_gtcp_by_promoting_the_grid_arrays() {
+    let exp = run("GTC-P");
+    let winner = exp.winner().unwrap();
+    assert!(winner.is_framework, "GTC-P winner was {}", winner.label);
+    assert!(exp.framework_speedup() > 1.4);
+    assert!(
+        speedup(&exp, "Cache") < exp.framework_speedup(),
+        "cache mode cannot follow the gather-heavy grid accesses"
+    );
+}
+
+#[test]
+fn cache_mode_wins_lulesh_and_autohbw_is_the_worst_mcdram_approach() {
+    let exp = run("Lulesh");
+    let winner = exp.winner().unwrap();
+    assert_eq!(winner.label, "Cache", "Lulesh winner was {}", winner.label);
+    assert!(speedup(&exp, "Cache") > 1.25);
+    // The framework stays useful but behind cache mode (the paper measures a
+    // 12.7% gap at the best framework configuration).
+    assert!(exp.framework_speedup() > 1.1);
+    assert!(exp.framework_speedup() < speedup(&exp, "Cache"));
+    // autohbw promotes non-critical churn through memkind and ends up the
+    // worst of all MCDRAM-using approaches.
+    let autohbw = speedup(&exp, "autohbw/1m");
+    assert!(autohbw < exp.framework_speedup());
+    assert!(autohbw < speedup(&exp, "MCDRAM*"));
+    assert!(autohbw < speedup(&exp, "Cache"));
+}
+
+#[test]
+fn cache_mode_wins_maxw_dgtd() {
+    let exp = run("MAXW-DGTD");
+    let winner = exp.winner().unwrap();
+    assert_eq!(winner.label, "Cache", "MAXW-DGTD winner was {}", winner.label);
+    assert!(speedup(&exp, "Cache") >= exp.framework_speedup());
+    assert!(exp.framework_speedup() > 1.2, "the framework still helps MAXW-DGTD");
+}
+
+#[test]
+fn numactl_stays_ahead_for_bt_cgpop_and_snap() {
+    for app in ["BT", "CGPOP", "SNAP"] {
+        let exp = run(app);
+        let numactl = speedup(&exp, "MCDRAM*");
+        let cache = speedup(&exp, "Cache");
+        let framework = exp.framework_speedup();
+        // "numactl -p 1 outperforms marginally the cache and framework
+        // approaches on BT, CGPOP and SNAP" — allow a 1% tolerance for the
+        // near-ties the paper itself calls marginal.
+        assert!(numactl >= framework * 0.99, "{app}: numactl {numactl} vs framework {framework}");
+        assert!(numactl >= cache * 0.99, "{app}: numactl {numactl} vs cache {cache}");
+        assert!(numactl > 1.2, "{app}: MCDRAM must clearly help ({numactl})");
+    }
+}
+
+#[test]
+fn autohbw_never_wins_anywhere() {
+    for app in ["HPCG", "Lulesh", "BT", "miniFE", "CGPOP", "SNAP", "MAXW-DGTD", "GTC-P"] {
+        let exp = run(app);
+        let winner = exp.winner().unwrap();
+        assert_ne!(winner.label, "autohbw/1m", "{app}: autohbw must never be the best approach");
+    }
+}
+
+#[test]
+fn budgets_help_hpcg_but_cgpop_saturates_at_32_mib() {
+    // HPCG keeps improving as the budget grows (paper: sweet spot at the
+    // largest budget); CGPOP's converted hot set already fits at 32 MiB, so
+    // extra budget changes nothing.
+    let hpcg = run("HPCG");
+    let frameworks: Vec<&_> = hpcg.results.iter().filter(|r| r.is_framework).collect();
+    let fom_at = |mib: f64| -> f64 {
+        frameworks
+            .iter()
+            .filter(|r| (r.charged_mcdram_mib - mib).abs() < 1.0)
+            .map(|r| r.fom)
+            .fold(0.0, f64::max)
+    };
+    assert!(fom_at(256.0) > fom_at(64.0), "HPCG must benefit from more MCDRAM");
+    assert!(fom_at(256.0) > fom_at(32.0) * 1.2);
+
+    let cgpop = run("CGPOP");
+    let cg_frameworks: Vec<&_> = cgpop.results.iter().filter(|r| r.is_framework).collect();
+    let best_small = cg_frameworks
+        .iter()
+        .filter(|r| r.charged_mcdram_mib <= 32.0)
+        .map(|r| r.fom)
+        .fold(0.0, f64::max);
+    let best_large = cg_frameworks
+        .iter()
+        .filter(|r| r.charged_mcdram_mib >= 256.0)
+        .map(|r| r.fom)
+        .fold(0.0, f64::max);
+    assert!(
+        (best_large - best_small).abs() / best_small < 0.02,
+        "CGPOP should be flat across budgets: 32 MiB {best_small} vs 256 MiB {best_large}"
+    );
+}
+
+#[test]
+fn mcdram_usage_never_exceeds_the_budget() {
+    for app in ["HPCG", "Lulesh", "miniFE", "SNAP"] {
+        let exp = run(app);
+        for r in exp.results.iter().filter(|r| r.is_framework) {
+            assert!(
+                r.mcdram_hwm.mib() <= r.charged_mcdram_mib + 1.0,
+                "{app} {}: HWM {} exceeds budget {}",
+                r.label,
+                r.mcdram_hwm.mib(),
+                r.charged_mcdram_mib
+            );
+        }
+    }
+}
+
+#[test]
+fn snap_density_strategy_uses_only_the_small_chunks() {
+    // Paper §IV-C: for SNAP "the density approach allocates far less memory
+    // (64 Mbytes) in the 128 and 256 Mbyte cases" because the small chunks
+    // are promoted first and the single 256 MiB buffer no longer fits.
+    let exp = run("SNAP");
+    let density_256 = exp
+        .results
+        .iter()
+        .find(|r| r.label.starts_with("Density") && (r.charged_mcdram_mib - 256.0).abs() < 1.0)
+        .expect("density/256 present");
+    assert!(
+        density_256.mcdram_hwm <= ByteSize::from_mib(80),
+        "density at 256 MiB used {}",
+        density_256.mcdram_hwm
+    );
+    let misses_256 = exp
+        .results
+        .iter()
+        .find(|r| r.label.starts_with("Misses(0%)") && (r.charged_mcdram_mib - 256.0).abs() < 1.0)
+        .expect("misses/256 present");
+    assert!(
+        misses_256.mcdram_hwm > ByteSize::from_mib(200),
+        "misses(0%) at 256 MiB used {}",
+        misses_256.mcdram_hwm
+    );
+}
