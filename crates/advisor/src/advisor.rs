@@ -79,16 +79,13 @@ impl Advisor {
                             value: o.llc_misses,
                         })
                         .collect();
-                    let capacity_pages = tier
-                        .capacity
-                        .map(|c| c.pages())
-                        .unwrap_or(u64::MAX / 2);
+                    let capacity_pages = tier.capacity.map(|c| c.pages()).unwrap_or(u64::MAX / 2);
                     solve_exact(&items, capacity_pages)?.selected
                 }
             };
             let mut chosen: Vec<&ObjectStats> = selected_idx.iter().map(|i| pool[*i]).collect();
             // Keep the report ordered by descending misses within a tier.
-            chosen.sort_by(|a, b| b.llc_misses.cmp(&a.llc_misses));
+            chosen.sort_by_key(|o| std::cmp::Reverse(o.llc_misses));
             for o in &chosen {
                 entries.push(SelectionEntry {
                     name: o.name.clone(),
@@ -101,8 +98,7 @@ impl Advisor {
                 });
             }
             // Remove selected objects from the pool for the next tier.
-            let selected_set: std::collections::HashSet<usize> =
-                selected_idx.into_iter().collect();
+            let selected_set: std::collections::HashSet<usize> = selected_idx.into_iter().collect();
             pool = pool
                 .into_iter()
                 .enumerate()
@@ -119,18 +115,14 @@ impl Advisor {
                 .into_iter()
                 .find(|t| t.capacity.is_some())
             {
-                let auto_min_misses = entries
-                    .iter()
-                    .map(|e| e.llc_misses)
-                    .min()
-                    .unwrap_or(0);
+                let auto_min_misses = entries.iter().map(|e| e.llc_misses).min().unwrap_or(0);
                 let mut manual: Vec<&ObjectStats> = report
                     .objects
                     .iter()
                     .filter(|o| !o.promotable() && o.llc_misses > 0)
                     .filter(|o| o.llc_misses >= auto_min_misses)
                     .collect();
-                manual.sort_by(|a, b| b.llc_misses.cmp(&a.llc_misses));
+                manual.sort_by_key(|o| std::cmp::Reverse(o.llc_misses));
                 for o in manual {
                     entries.push(SelectionEntry {
                         name: o.name.clone(),
@@ -220,13 +212,23 @@ mod tests {
         ]);
         let spec = MemorySpec::knl_budget(ByteSize::from_mib(128));
         let placement = Advisor::new()
-            .advise(&r, &spec, SelectionStrategy::Misses { threshold_percent: 0.0 })
+            .advise(
+                &r,
+                &spec,
+                SelectionStrategy::Misses {
+                    threshold_percent: 0.0,
+                },
+            )
             .unwrap();
         let names: Vec<&str> = placement
             .automatic_entries()
             .map(|e| e.name.as_str())
             .collect();
-        assert_eq!(names, vec!["hot_big", "cool_small"], "warm_mid does not fit after hot_big");
+        assert_eq!(
+            names,
+            vec!["hot_big", "cool_small"],
+            "warm_mid does not fit after hot_big"
+        );
         assert!(placement.selected_bytes(TierId::MCDRAM) <= ByteSize::from_mib(128));
     }
 
@@ -260,11 +262,23 @@ mod tests {
         ]);
         let spec = MemorySpec::knl_budget(ByteSize::from_mib(256));
         let with = Advisor::new()
-            .advise(&r, &spec, SelectionStrategy::Misses { threshold_percent: 5.0 })
+            .advise(
+                &r,
+                &spec,
+                SelectionStrategy::Misses {
+                    threshold_percent: 5.0,
+                },
+            )
             .unwrap();
         assert_eq!(with.automatic_entries().count(), 1);
         let without = Advisor::new()
-            .advise(&r, &spec, SelectionStrategy::Misses { threshold_percent: 0.0 })
+            .advise(
+                &r,
+                &spec,
+                SelectionStrategy::Misses {
+                    threshold_percent: 0.0,
+                },
+            )
             .unwrap();
         assert_eq!(without.automatic_entries().count(), 2);
     }
@@ -277,7 +291,13 @@ mod tests {
         ]);
         let spec = MemorySpec::knl_budget(ByteSize::from_mib(64));
         let placement = Advisor::new()
-            .advise(&r, &spec, SelectionStrategy::Misses { threshold_percent: 0.0 })
+            .advise(
+                &r,
+                &spec,
+                SelectionStrategy::Misses {
+                    threshold_percent: 0.0,
+                },
+            )
             .unwrap();
         let auto: Vec<&str> = placement
             .automatic_entries()
@@ -309,14 +329,19 @@ mod tests {
         ]);
         let spec = MemorySpec::knl_budget(ByteSize::from_mib(120));
         let greedy = Advisor::new()
-            .advise(&r, &spec, SelectionStrategy::Misses { threshold_percent: 0.0 })
+            .advise(
+                &r,
+                &spec,
+                SelectionStrategy::Misses {
+                    threshold_percent: 0.0,
+                },
+            )
             .unwrap();
         let exact = Advisor::new()
             .advise(&r, &spec, SelectionStrategy::ExactKnapsack)
             .unwrap();
-        let misses = |p: &PlacementReport| -> u64 {
-            p.automatic_entries().map(|e| e.llc_misses).sum()
-        };
+        let misses =
+            |p: &PlacementReport| -> u64 { p.automatic_entries().map(|e| e.llc_misses).sum() };
         assert!(misses(&exact) > misses(&greedy));
         assert_eq!(misses(&exact), 1_800_000);
     }
@@ -330,7 +355,13 @@ mod tests {
             obj("third", ReportedKind::Dynamic, 100_000, 60),
         ]);
         let placement = Advisor::new()
-            .advise(&r, &spec, SelectionStrategy::Misses { threshold_percent: 0.0 })
+            .advise(
+                &r,
+                &spec,
+                SelectionStrategy::Misses {
+                    threshold_percent: 0.0,
+                },
+            )
             .unwrap();
         let tier_of = |name: &str| {
             placement
@@ -352,10 +383,20 @@ mod tests {
         ]);
         let spec = MemorySpec::knl_budget(ByteSize::from_mib(256));
         let placement = Advisor::new()
-            .advise(&r, &spec, SelectionStrategy::Misses { threshold_percent: 0.0 })
+            .advise(
+                &r,
+                &spec,
+                SelectionStrategy::Misses {
+                    threshold_percent: 0.0,
+                },
+            )
             .unwrap();
         assert_eq!(placement.ub_size, ByteSize::from_mib(64));
-        assert_eq!(placement.lb_size, ByteSize::from_mib(4), "smallest min_size of selected sites");
+        assert_eq!(
+            placement.lb_size,
+            ByteSize::from_mib(4),
+            "smallest min_size of selected sites"
+        );
     }
 
     #[test]

@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn misses_ranking_orders_and_thresholds() {
-        let objects = vec![
+        let objects = [
             obj("small_hot", 500_000, 1),
             obj("big_hot", 900_000, 100),
             obj("rare", 5_000, 1),
@@ -104,15 +104,23 @@ mod tests {
         let total: u64 = objects.iter().map(|o| o.llc_misses).sum();
 
         let no_threshold = rank_by_misses(&refs, total, 0.0);
-        assert_eq!(no_threshold, vec![1, 0, 2], "untouched object is never ranked");
+        assert_eq!(
+            no_threshold,
+            vec![1, 0, 2],
+            "untouched object is never ranked"
+        );
 
         let with_threshold = rank_by_misses(&refs, total, 1.0);
-        assert_eq!(with_threshold, vec![1, 0], "rare object filtered by the 1% threshold");
+        assert_eq!(
+            with_threshold,
+            vec![1, 0],
+            "rare object filtered by the 1% threshold"
+        );
     }
 
     #[test]
     fn density_ranking_prefers_small_hot_objects() {
-        let objects = vec![obj("big_hot", 900_000, 100), obj("small_hot", 500_000, 1)];
+        let objects = [obj("big_hot", 900_000, 100), obj("small_hot", 500_000, 1)];
         let refs: Vec<&ObjectStats> = objects.iter().collect();
         let ranked = rank_by_density(&refs);
         assert_eq!(ranked, vec![1, 0]);
@@ -120,7 +128,7 @@ mod tests {
 
     #[test]
     fn pack_respects_capacity_and_skips_to_smaller_objects() {
-        let objects = vec![
+        let objects = [
             obj("huge", 1_000_000, 200),
             obj("medium", 900_000, 60),
             obj("small", 800_000, 30),
@@ -135,7 +143,7 @@ mod tests {
 
     #[test]
     fn pack_without_capacity_takes_everything() {
-        let objects = vec![obj("a", 10, 1), obj("b", 20, 2)];
+        let objects = [obj("a", 10, 1), obj("b", 20, 2)];
         let refs: Vec<&ObjectStats> = objects.iter().collect();
         let (selected, used) = pack(&refs, &[1, 0], None);
         assert_eq!(selected, vec![1, 0]);

@@ -31,7 +31,9 @@ impl MemorySpec {
     /// and unique tier ids.
     pub fn new(tiers: Vec<TierBudget>) -> HmResult<MemorySpec> {
         if tiers.is_empty() {
-            return Err(HmError::Config("memory spec needs at least one tier".into()));
+            return Err(HmError::Config(
+                "memory spec needs at least one tier".into(),
+            ));
         }
         if !tiers.iter().any(|t| t.capacity.is_none()) {
             return Err(HmError::Config(
@@ -127,9 +129,9 @@ impl MemorySpec {
             } else {
                 Some(ByteSize::parse(fields[1]).map_err(|e| HmError::parse_at(lineno, e))?)
             };
-            let relative_performance: f64 = fields[2]
-                .parse()
-                .map_err(|_| HmError::parse_at(lineno, format!("bad performance {:?}", fields[2])))?;
+            let relative_performance: f64 = fields[2].parse().map_err(|_| {
+                HmError::parse_at(lineno, format!("bad performance {:?}", fields[2]))
+            })?;
             let tier = match name.to_ascii_uppercase().as_str() {
                 "DDR" | "DRAM" => TierId::DDR,
                 "MCDRAM" | "HBM" => TierId::MCDRAM,

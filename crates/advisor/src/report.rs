@@ -194,7 +194,9 @@ mod tests {
             entries: vec![
                 SelectionEntry {
                     name: "A.values".to_string(),
-                    site: Some(SiteKey::from_text("libc!malloc+0x1|minife!create_matrix+0x8")),
+                    site: Some(SiteKey::from_text(
+                        "libc!malloc+0x1|minife!create_matrix+0x8",
+                    )),
                     tier: TierId::MCDRAM,
                     tier_name: "MCDRAM".to_string(),
                     size: ByteSize::from_mib(60),

@@ -73,9 +73,17 @@ mod tests {
     #[test]
     fn display_matches_label() {
         assert_eq!(
-            format!("{}", SelectionStrategy::Misses { threshold_percent: 5.0 }),
+            format!(
+                "{}",
+                SelectionStrategy::Misses {
+                    threshold_percent: 5.0
+                }
+            ),
             "Misses(5%)"
         );
-        assert_eq!(format!("{}", SelectionStrategy::ExactKnapsack), "ExactKnapsack");
+        assert_eq!(
+            format!("{}", SelectionStrategy::ExactKnapsack),
+            "ExactKnapsack"
+        );
     }
 }

@@ -31,10 +31,7 @@ pub fn estimate_benefit(
     fast_to_slow_bandwidth_ratio: f64,
 ) -> BenefitEstimate {
     let total: u64 = report.total_misses.max(1);
-    let covered: u64 = placement
-        .automatic_entries()
-        .map(|e| e.llc_misses)
-        .sum();
+    let covered: u64 = placement.automatic_entries().map(|e| e.llc_misses).sum();
     let covered_miss_fraction = (covered as f64 / total as f64).clamp(0.0, 1.0);
     let ratio = fast_to_slow_bandwidth_ratio.max(1.0);
     let remaining = 1.0 - covered_miss_fraction * (1.0 - 1.0 / ratio);

@@ -154,6 +154,7 @@ mod tests {
     use hmsim_common::Nanos;
     use hmsim_trace::{AllocationRecord, SampleRecord, TraceMetadata};
 
+    #[allow(clippy::too_many_arguments)]
     fn alloc(
         t: &mut TraceFile,
         id: u32,
@@ -188,8 +189,26 @@ mod tests {
     #[test]
     fn samples_are_attributed_and_sorted() {
         let mut t = TraceFile::new(TraceMetadata::default());
-        alloc(&mut t, 0, "matrix", ObjectClass::Dynamic, Some("app!m+0x1"), 0x100000, ByteSize::from_mib(8), 0.0);
-        alloc(&mut t, 1, "vector", ObjectClass::Dynamic, Some("app!v+0x2"), 0x900000, ByteSize::from_mib(1), 0.0);
+        alloc(
+            &mut t,
+            0,
+            "matrix",
+            ObjectClass::Dynamic,
+            Some("app!m+0x1"),
+            0x100000,
+            ByteSize::from_mib(8),
+            0.0,
+        );
+        alloc(
+            &mut t,
+            1,
+            "vector",
+            ObjectClass::Dynamic,
+            Some("app!v+0x2"),
+            0x900000,
+            ByteSize::from_mib(1),
+            0.0,
+        );
         for i in 0..9 {
             sample(&mut t, 0x100000 + i * 64, Some(0), 1000, 1.0 + i as f64);
         }
@@ -207,7 +226,16 @@ mod tests {
     #[test]
     fn address_fallback_attribution_works_without_object_ids() {
         let mut t = TraceFile::new(TraceMetadata::default());
-        alloc(&mut t, 0, "grid", ObjectClass::Dynamic, Some("app!g+0x1"), 0x200000, ByteSize::from_mib(4), 0.0);
+        alloc(
+            &mut t,
+            0,
+            "grid",
+            ObjectClass::Dynamic,
+            Some("app!g+0x1"),
+            0x200000,
+            ByteSize::from_mib(4),
+            0.0,
+        );
         sample(&mut t, 0x200000 + 4096, None, 500, 1.0);
         sample(&mut t, 0xdead0000, None, 500, 2.0);
         let report = analyze_trace(&t);
@@ -249,7 +277,16 @@ mod tests {
     #[test]
     fn static_objects_group_by_name_and_are_not_promotable() {
         let mut t = TraceFile::new(TraceMetadata::default());
-        alloc(&mut t, 0, "common_u", ObjectClass::Static, None, 0x600000, ByteSize::from_mib(64), 0.0);
+        alloc(
+            &mut t,
+            0,
+            "common_u",
+            ObjectClass::Static,
+            None,
+            0x600000,
+            ByteSize::from_mib(64),
+            0.0,
+        );
         sample(&mut t, 0x600000 + 100, Some(0), 2000, 1.0);
         let report = analyze_trace(&t);
         assert_eq!(report.objects[0].kind, ReportedKind::Static);
@@ -260,7 +297,16 @@ mod tests {
     #[test]
     fn samples_after_free_are_unattributed() {
         let mut t = TraceFile::new(TraceMetadata::default());
-        alloc(&mut t, 0, "temp", ObjectClass::Dynamic, Some("app!t+0x1"), 0x400000, ByteSize::from_mib(1), 0.0);
+        alloc(
+            &mut t,
+            0,
+            "temp",
+            ObjectClass::Dynamic,
+            Some("app!t+0x1"),
+            0x400000,
+            ByteSize::from_mib(1),
+            0.0,
+        );
         t.push(TraceEvent::Free {
             time: Nanos::from_millis(5.0),
             object: ObjectId(0),

@@ -3,8 +3,8 @@
 
 use crate::object_stats::{ObjectReport, ObjectStats, ReportedKind};
 use hmsim_callstack::SiteKey;
-use hmsim_common::{ByteSize, HmError, HmResult};
 use hmsim_common::table::{csv_escape, csv_parse_line};
+use hmsim_common::{ByteSize, HmError, HmResult};
 
 /// Header line of the report CSV.
 pub const CSV_HEADER: &str =

@@ -295,7 +295,11 @@ mod tests {
             .filter(|(p, _)| *p < 0.3)
             .map(|(_, m)| *m)
             .fold(0.0f64, f64::max);
-        assert!(fast > slowest.mips * 5.0, "fast {fast} slow {}", slowest.mips);
+        assert!(
+            fast > slowest.mips * 5.0,
+            "fast {fast} slow {}",
+            slowest.mips
+        );
     }
 
     #[test]

@@ -188,7 +188,11 @@ mod tests {
 
     #[test]
     fn kind_codes_round_trip() {
-        for k in [ReportedKind::Static, ReportedKind::Dynamic, ReportedKind::Stack] {
+        for k in [
+            ReportedKind::Static,
+            ReportedKind::Dynamic,
+            ReportedKind::Stack,
+        ] {
             assert_eq!(ReportedKind::from_code(k.code()), Some(k));
         }
         assert_eq!(ReportedKind::from_code("heap"), None);

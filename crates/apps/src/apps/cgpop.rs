@@ -114,7 +114,10 @@ mod tests {
             .filter(|o| o.kind == hmsim_heap::ObjectKind::Dynamic && o.miss_share > 0.05)
             .map(|o| o.size)
             .sum();
-        assert!(dynamic_hot <= ByteSize::from_mib(32), "hot dynamic set {dynamic_hot}");
+        assert!(
+            dynamic_hot <= ByteSize::from_mib(32),
+            "hot dynamic set {dynamic_hot}"
+        );
     }
 
     #[test]

@@ -151,7 +151,11 @@ mod tests {
     #[test]
     fn particle_arrays_never_fit_a_per_rank_budget() {
         let s = spec();
-        let zion = s.objects.iter().find(|o| o.name == "zion_particles").unwrap();
+        let zion = s
+            .objects
+            .iter()
+            .find(|o| o.name == "zion_particles")
+            .unwrap();
         assert!(zion.size > ByteSize::from_mib(256));
     }
 

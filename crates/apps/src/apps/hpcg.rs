@@ -152,7 +152,11 @@ mod tests {
         let values = s.miss_fraction("A.matrixValues");
         let indices = s.miss_fraction("A.mtxIndL");
         assert!(values + indices > 0.4);
-        let values_obj = s.objects.iter().find(|o| o.name == "A.matrixValues").unwrap();
+        let values_obj = s
+            .objects
+            .iter()
+            .find(|o| o.name == "A.matrixValues")
+            .unwrap();
         assert!(values_obj.size > ByteSize::from_mib(256));
     }
 

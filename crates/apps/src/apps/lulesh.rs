@@ -65,7 +65,12 @@ pub fn spec() -> AppSpec {
             ObjectSpec::dynamic(
                 "nodal_coords_velocities",
                 ByteSize::from_mib(220),
-                &["main", "allocate_state", "AllocateNodalPersistent", "malloc"],
+                &[
+                    "main",
+                    "allocate_state",
+                    "AllocateNodalPersistent",
+                    "malloc",
+                ],
                 0.24,
                 0.10,
             ),
@@ -160,9 +165,14 @@ mod tests {
             .iter()
             .filter(|o| matches!(o.timing, AllocTiming::PerIteration { .. }))
             .collect();
-        assert!(churn.len() >= 3, "LULESH must churn allocations per iteration");
         assert!(
-            churn.iter().any(|o| o.size >= ByteSize::from_mib(1) && o.size < ByteSize::from_mib(2)),
+            churn.len() >= 3,
+            "LULESH must churn allocations per iteration"
+        );
+        assert!(
+            churn
+                .iter()
+                .any(|o| o.size >= ByteSize::from_mib(1) && o.size < ByteSize::from_mib(2)),
             "some churn sites fall in the 1-2 MiB anomaly window"
         );
     }
@@ -170,7 +180,11 @@ mod tests {
     #[test]
     fn biggest_field_family_exceeds_every_per_rank_budget() {
         let s = spec();
-        let elem = s.objects.iter().find(|o| o.name == "element_fields").unwrap();
+        let elem = s
+            .objects
+            .iter()
+            .find(|o| o.name == "element_fields")
+            .unwrap();
         assert!(elem.size > ByteSize::from_mib(256));
         assert!(s.miss_fraction("element_fields") > 0.25);
     }
@@ -181,6 +195,9 @@ mod tests {
         // early allocations are cold, which is why numactl/autohbw gain little.
         let s = spec();
         let first_three: f64 = s.objects[..3].iter().map(|o| o.miss_share).sum();
-        assert!(first_three < 0.15, "early allocations are cold ({first_three})");
+        assert!(
+            first_three < 0.15,
+            "early allocations are cold ({first_three})"
+        );
     }
 }

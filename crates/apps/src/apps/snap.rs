@@ -131,14 +131,22 @@ mod tests {
             .map(|o| o.size)
             .sum();
         assert_eq!(small, ByteSize::from_mib(64));
-        let big = s.objects.iter().find(|o| o.name == "flux_moments_buffer").unwrap();
+        let big = s
+            .objects
+            .iter()
+            .find(|o| o.name == "flux_moments_buffer")
+            .unwrap();
         assert_eq!(big.size, ByteSize::from_mib(256));
     }
 
     #[test]
     fn stack_spills_carry_a_large_irregular_share() {
         let s = spec();
-        let spill = s.objects.iter().find(|o| o.name == "outer_src_spill_slots").unwrap();
+        let spill = s
+            .objects
+            .iter()
+            .find(|o| o.name == "outer_src_spill_slots")
+            .unwrap();
         assert_eq!(spill.kind, hmsim_heap::ObjectKind::Stack);
         assert!(spill.miss_share >= 0.2);
         assert!(spill.irregular >= 0.5);
@@ -147,7 +155,11 @@ mod tests {
     #[test]
     fn outer_src_calc_is_dominated_by_the_spill_slots() {
         let s = spec();
-        let outer = s.kernels.iter().find(|k| k.name == "outer_src_calc").unwrap();
+        let outer = s
+            .kernels
+            .iter()
+            .find(|k| k.name == "outer_src_calc")
+            .unwrap();
         let spill_weight = outer
             .object_weights
             .iter()

@@ -23,10 +23,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod apps;
+pub mod kernels;
 pub mod registry;
 pub mod spec;
 pub mod stream;
 
+pub use kernels::TriadStream;
 pub use registry::{all_apps, app_by_name};
 pub use spec::{AllocTiming, AppSpec, KernelSpec, ObjectSpec};
 pub use stream::{StreamBenchmark, StreamResult};

@@ -34,7 +34,16 @@ mod tests {
         let apps = all_apps();
         assert_eq!(apps.len(), 8);
         let names: HashSet<&str> = apps.iter().map(|a| a.name).collect();
-        for expected in ["HPCG", "Lulesh", "BT", "miniFE", "CGPOP", "SNAP", "MAXW-DGTD", "GTC-P"] {
+        for expected in [
+            "HPCG",
+            "Lulesh",
+            "BT",
+            "miniFE",
+            "CGPOP",
+            "SNAP",
+            "MAXW-DGTD",
+            "GTC-P",
+        ] {
             assert!(names.contains(expected), "missing {expected}");
         }
         for app in &apps {

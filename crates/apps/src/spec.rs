@@ -180,7 +180,9 @@ impl AppSpec {
 
     /// Dynamic objects only.
     pub fn dynamic_objects(&self) -> impl Iterator<Item = &ObjectSpec> {
-        self.objects.iter().filter(|o| o.kind == ObjectKind::Dynamic)
+        self.objects
+            .iter()
+            .filter(|o| o.kind == ObjectKind::Dynamic)
     }
 
     /// Normalised miss share of object `name` (0 if unknown).
@@ -258,17 +260,26 @@ impl AppSpec {
             for k in &self.kernels {
                 for (obj, _) in k.object_weights {
                     if !self.objects.iter().any(|o| o.name == *obj) {
-                        return Err(format!("{}: kernel {} references unknown object {obj}", self.name, k.name));
+                        return Err(format!(
+                            "{}: kernel {} references unknown object {obj}",
+                            self.name, k.name
+                        ));
                     }
                 }
             }
         }
         for o in &self.objects {
             if o.kind == ObjectKind::Dynamic && o.site.is_empty() {
-                return Err(format!("{}: dynamic object {} has no allocation site", self.name, o.name));
+                return Err(format!(
+                    "{}: dynamic object {} has no allocation site",
+                    self.name, o.name
+                ));
             }
             if o.min_size > o.size {
-                return Err(format!("{}: object {} min_size exceeds size", self.name, o.name));
+                return Err(format!(
+                    "{}: object {} min_size exceeds size",
+                    self.name, o.name
+                ));
             }
         }
         Ok(())
@@ -300,7 +311,13 @@ mod tests {
             small_allocs_per_second: 3.0,
             init_time: Nanos::from_millis(5.0),
             objects: vec![
-                ObjectSpec::dynamic("hot", ByteSize::from_mib(32), &["main", "alloc_hot", "malloc"], 0.8, 0.0),
+                ObjectSpec::dynamic(
+                    "hot",
+                    ByteSize::from_mib(32),
+                    &["main", "alloc_hot", "malloc"],
+                    0.8,
+                    0.0,
+                ),
                 ObjectSpec::static_var("table", ByteSize::from_mib(8), 0.2, 0.5),
             ],
             kernels: vec![KernelSpec {
@@ -361,7 +378,12 @@ mod tests {
         let o = ObjectSpec::dynamic("x", ByteSize::from_mib(8), &["main", "malloc"], 0.5, 0.1)
             .per_iteration(3)
             .with_min_size(ByteSize::from_mib(2));
-        assert_eq!(o.timing, AllocTiming::PerIteration { allocs_per_iteration: 3 });
+        assert_eq!(
+            o.timing,
+            AllocTiming::PerIteration {
+                allocs_per_iteration: 3
+            }
+        );
         assert_eq!(o.min_size, ByteSize::from_mib(2));
     }
 }

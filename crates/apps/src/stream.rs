@@ -118,7 +118,10 @@ mod tests {
                 _ => row.3,
             };
             for w in fig.windows(2) {
-                assert!(get(&w[1]) >= get(&w[0]) * 0.99, "series {series} not monotone");
+                assert!(
+                    get(&w[1]) >= get(&w[0]) * 0.99,
+                    "series {series} not monotone"
+                );
             }
         }
 
@@ -142,7 +145,11 @@ mod tests {
         let ddr = bench.run_flat(&machine(), TierId::DDR);
         let flat = bench.run_flat(&machine(), TierId::MCDRAM);
         let at = |series: &[StreamResult], cores: u32| {
-            series.iter().find(|r| r.cores == cores).unwrap().bandwidth_gbs
+            series
+                .iter()
+                .find(|r| r.cores == cores)
+                .unwrap()
+                .bandwidth_gbs
         };
         // DDR gains little beyond 16 cores; MCDRAM keeps growing.
         assert!(at(&ddr, 68) / at(&ddr, 16) < 1.25);

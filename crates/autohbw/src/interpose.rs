@@ -1,9 +1,9 @@
 //! Algorithm 1: the interposed `malloc`.
 
+use hmem_advisor::PlacementReport;
 use hmsim_callstack::{SiteCache, SiteDecision, Translator, Unwinder};
 use hmsim_common::{Address, AddressRange, ByteSize, HmResult, Nanos, ObjectId, TierId};
 use hmsim_heap::ProcessHeap;
-use hmem_advisor::PlacementReport;
 
 /// Book-keeping of one interposed run (per allocator and overall), matching
 /// the metrics the paper says the library captures "upon user request".
@@ -189,8 +189,7 @@ impl AutoHbwMalloc {
 
         // Lines 20-23: default (DDR) path.
         let site = self.site_key_of(logical_stack)?;
-        let (id, range, alloc_cost) =
-            heap.malloc(size, TierId::DDR, name, Some(site), now)?;
+        let (id, range, alloc_cost) = heap.malloc(size, TierId::DDR, name, Some(site), now)?;
         self.stats.default_allocations += 1;
         Ok((id, range, alloc_cost + overhead))
     }
@@ -226,11 +225,11 @@ impl AutoHbwMalloc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hmem_advisor::{MemorySpec, PlacementReport, SelectionEntry, SelectionStrategy};
     use hmsim_callstack::{AslrLayout, ProgramImage, SiteKey};
     use hmsim_common::DetRng;
     use hmsim_heap::ProcessHeap;
     use hmsim_machine::MachineConfig;
-    use hmem_advisor::{MemorySpec, PlacementReport, SelectionEntry, SelectionStrategy};
 
     const KERNELS: &[&str] = &["alloc_matrix", "alloc_vectors", "alloc_workspace"];
 
@@ -279,12 +278,24 @@ mod tests {
     fn selected_sites_are_promoted_and_others_are_not() {
         let (mut lib, mut heap) = setup(&[("alloc_matrix", 64)], 256);
         let (_, range, _) = lib
-            .malloc(&mut heap, ByteSize::from_mib(64), "matrix", &["main", "alloc_matrix", "malloc"], Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(64),
+                "matrix",
+                &["main", "alloc_matrix", "malloc"],
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(range.start), TierId::MCDRAM);
 
         let (_, range2, _) = lib
-            .malloc(&mut heap, ByteSize::from_mib(64), "other", &["main", "alloc_vectors", "malloc"], Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(64),
+                "other",
+                &["main", "alloc_vectors", "malloc"],
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(range2.start), TierId::DDR);
 
@@ -319,10 +330,22 @@ mod tests {
         // Two 64 MiB allocations from the selected site: the second does not
         // fit in the 100 MiB budget and falls back to DDR.
         let (_, r1, _) = lib
-            .malloc(&mut heap, ByteSize::from_mib(64), "a", &["main", "alloc_matrix", "malloc"], Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(64),
+                "a",
+                &["main", "alloc_matrix", "malloc"],
+                Nanos::ZERO,
+            )
             .unwrap();
         let (_, r2, _) = lib
-            .malloc(&mut heap, ByteSize::from_mib(64), "b", &["main", "alloc_matrix", "malloc"], Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(64),
+                "b",
+                &["main", "alloc_matrix", "malloc"],
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(r1.start), TierId::MCDRAM);
         assert_eq!(heap.page_table().tier_of(r2.start), TierId::DDR);
@@ -334,12 +357,25 @@ mod tests {
     fn freeing_promoted_memory_releases_budget() {
         let (mut lib, mut heap) = setup(&[("alloc_matrix", 64)], 100);
         let (_, r1, _) = lib
-            .malloc(&mut heap, ByteSize::from_mib(64), "a", &["main", "alloc_matrix", "malloc"], Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(64),
+                "a",
+                &["main", "alloc_matrix", "malloc"],
+                Nanos::ZERO,
+            )
             .unwrap();
-        lib.free(&mut heap, r1.start, Nanos::from_millis(1.0)).unwrap();
+        lib.free(&mut heap, r1.start, Nanos::from_millis(1.0))
+            .unwrap();
         // Budget is available again: the next allocation is promoted.
         let (_, r2, _) = lib
-            .malloc(&mut heap, ByteSize::from_mib(64), "b", &["main", "alloc_matrix", "malloc"], Nanos::from_millis(2.0))
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(64),
+                "b",
+                &["main", "alloc_matrix", "malloc"],
+                Nanos::from_millis(2.0),
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(r2.start), TierId::MCDRAM);
         assert_eq!(lib.stats().did_not_fit, 0);
@@ -350,7 +386,13 @@ mod tests {
         let (mut lib, mut heap) = setup(&[("alloc_matrix", 64)], 1024);
         // 4 KiB allocation: well below lb_size (64 MiB), skipped entirely.
         let (_, range, _) = lib
-            .malloc(&mut heap, ByteSize::from_kib(4), "tiny", &["main", "alloc_matrix", "malloc"], Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_kib(4),
+                "tiny",
+                &["main", "alloc_matrix", "malloc"],
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(range.start), TierId::DDR);
         assert_eq!(lib.stats().size_filtered, 1);
@@ -359,8 +401,14 @@ mod tests {
         // Disabling the filter forces the full path even for tiny requests.
         let (mut lib2, mut heap2) = setup(&[("alloc_matrix", 64)], 1024);
         lib2 = lib2.with_size_filter(false);
-        lib2.malloc(&mut heap2, ByteSize::from_kib(4), "tiny", &["main", "alloc_matrix", "malloc"], Nanos::ZERO)
-            .unwrap();
+        lib2.malloc(
+            &mut heap2,
+            ByteSize::from_kib(4),
+            "tiny",
+            &["main", "alloc_matrix", "malloc"],
+            Nanos::ZERO,
+        )
+        .unwrap();
         assert_eq!(lib2.stats().size_filtered, 0);
         assert_eq!(lib2.stats().cache_misses, 1);
     }
@@ -368,13 +416,28 @@ mod tests {
     #[test]
     fn overhead_accumulates_and_is_larger_on_cache_misses() {
         let (mut lib, mut heap) = setup(&[("alloc_matrix", 8)], 1024);
-        lib.malloc(&mut heap, ByteSize::from_mib(8), "a", &["main", "alloc_matrix", "malloc"], Nanos::ZERO)
-            .unwrap();
+        lib.malloc(
+            &mut heap,
+            ByteSize::from_mib(8),
+            "a",
+            &["main", "alloc_matrix", "malloc"],
+            Nanos::ZERO,
+        )
+        .unwrap();
         let after_miss = lib.stats().overhead_ns;
-        lib.malloc(&mut heap, ByteSize::from_mib(8), "b", &["main", "alloc_matrix", "malloc"], Nanos::ZERO)
-            .unwrap();
+        lib.malloc(
+            &mut heap,
+            ByteSize::from_mib(8),
+            "b",
+            &["main", "alloc_matrix", "malloc"],
+            Nanos::ZERO,
+        )
+        .unwrap();
         let after_hit = lib.stats().overhead_ns - after_miss;
-        assert!(after_miss > after_hit, "miss {after_miss} vs hit {after_hit}");
+        assert!(
+            after_miss > after_hit,
+            "miss {after_miss} vs hit {after_hit}"
+        );
         assert!(lib.stats().overhead() > Nanos::ZERO);
         assert_eq!(lib.stats().total_allocations(), 2);
     }
@@ -383,7 +446,13 @@ mod tests {
     fn empty_report_routes_everything_to_ddr_without_overhead() {
         let (mut lib, mut heap) = setup(&[], 256);
         let (_, range, _) = lib
-            .malloc(&mut heap, ByteSize::from_mib(16), "x", &["main", "alloc_matrix", "malloc"], Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(16),
+                "x",
+                &["main", "alloc_matrix", "malloc"],
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(range.start), TierId::DDR);
         assert_eq!(lib.stats().cache_misses, 0);
@@ -398,7 +467,9 @@ mod tests {
         let aslr_profile = AslrLayout::randomized(&image, &mut DetRng::new(100));
         let unwinder_p = Unwinder::new(image.clone(), aslr_profile.clone());
         let translator_p = Translator::new(image.clone(), aslr_profile);
-        let (raw, _) = unwinder_p.unwind(&["main", "alloc_matrix", "malloc"]).unwrap();
+        let (raw, _) = unwinder_p
+            .unwind(&["main", "alloc_matrix", "malloc"])
+            .unwrap();
         let (tr, _) = translator_p.translate(&raw);
         let profiled_site: SiteKey = tr.site_key();
 
@@ -425,7 +496,13 @@ mod tests {
         let mut lib = AutoHbwMalloc::new(report, unwinder_r, translator_r);
         let mut heap = ProcessHeap::new(&MachineConfig::knl_7250()).unwrap();
         let (_, range, _) = lib
-            .malloc(&mut heap, ByteSize::from_mib(32), "matrix", &["main", "alloc_matrix", "malloc"], Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(32),
+                "matrix",
+                &["main", "alloc_matrix", "malloc"],
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(range.start), TierId::MCDRAM);
     }

@@ -122,9 +122,7 @@ impl AllocationRouter {
         now: Nanos,
     ) -> HmResult<(ObjectId, AddressRange, Nanos)> {
         match self {
-            AllocationRouter::Interposed(lib) => {
-                lib.malloc(heap, size, name, logical_stack, now)
-            }
+            AllocationRouter::Interposed(lib) => lib.malloc(heap, size, name, logical_stack, now),
             AllocationRouter::Simple {
                 approach,
                 preferred,
@@ -216,9 +214,7 @@ impl AllocationRouter {
     pub fn promoted_hwm(&self) -> ByteSize {
         match self {
             AllocationRouter::Simple { promoted_hwm, .. } => *promoted_hwm,
-            AllocationRouter::Interposed(lib) => {
-                ByteSize::from_bytes(lib.stats().promoted_hwm)
-            }
+            AllocationRouter::Interposed(lib) => ByteSize::from_bytes(lib.stats().promoted_hwm),
         }
     }
 
@@ -274,7 +270,8 @@ mod tests {
 
     fn heap_with_cap(cap_mib: u64) -> ProcessHeap {
         let mut h = ProcessHeap::new(&MachineConfig::knl_7250()).unwrap();
-        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(cap_mib)).unwrap();
+        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(cap_mib))
+            .unwrap();
         h
     }
 
@@ -283,7 +280,14 @@ mod tests {
         let mut heap = heap_with_cap(1024);
         let mut r = RouterFactory::ddr();
         let (_, range, _) = r
-            .malloc(&mut heap, ByteSize::from_mib(100), "x", &["main", "malloc"], None, Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(100),
+                "x",
+                &["main", "malloc"],
+                None,
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(range.start), TierId::DDR);
         assert_eq!(r.static_tier(&heap, ByteSize::from_mib(10)), TierId::DDR);
@@ -299,13 +303,31 @@ mod tests {
         assert_eq!(r.static_tier(&heap, ByteSize::from_mib(32)), TierId::MCDRAM);
         assert_eq!(r.stack_tier(&heap, ByteSize::from_mib(8)), TierId::MCDRAM);
         let (_, r1, _) = r
-            .malloc(&mut heap, ByteSize::from_mib(100), "first", &["main", "malloc"], None, Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(100),
+                "first",
+                &["main", "malloc"],
+                None,
+                Nanos::ZERO,
+            )
             .unwrap();
         let (_, r2, _) = r
-            .malloc(&mut heap, ByteSize::from_mib(100), "second", &["main", "malloc"], None, Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(100),
+                "second",
+                &["main", "malloc"],
+                None,
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(r1.start), TierId::MCDRAM);
-        assert_eq!(heap.page_table().tier_of(r2.start), TierId::DDR, "MCDRAM exhausted");
+        assert_eq!(
+            heap.page_table().tier_of(r2.start),
+            TierId::DDR,
+            "MCDRAM exhausted"
+        );
         assert_eq!(r.promoted_hwm(), ByteSize::from_mib(100));
     }
 
@@ -314,10 +336,24 @@ mod tests {
         let mut heap = heap_with_cap(1024);
         let mut r = RouterFactory::autohbw_1m();
         let (_, small, _) = r
-            .malloc(&mut heap, ByteSize::from_kib(512), "small", &["main", "malloc"], None, Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_kib(512),
+                "small",
+                &["main", "malloc"],
+                None,
+                Nanos::ZERO,
+            )
             .unwrap();
         let (_, big, _) = r
-            .malloc(&mut heap, ByteSize::from_mib(2), "big", &["main", "malloc"], None, Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(2),
+                "big",
+                &["main", "malloc"],
+                None,
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(small.start), TierId::DDR);
         assert_eq!(heap.page_table().tier_of(big.start), TierId::MCDRAM);
@@ -331,7 +367,14 @@ mod tests {
         let mut heap = heap_with_cap(1024);
         let mut r = RouterFactory::cache_mode();
         let (_, range, _) = r
-            .malloc(&mut heap, ByteSize::from_mib(64), "x", &["main", "malloc"], None, Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(64),
+                "x",
+                &["main", "malloc"],
+                None,
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(range.start), TierId::DDR);
     }
@@ -341,12 +384,27 @@ mod tests {
         let mut heap = heap_with_cap(128);
         let mut r = RouterFactory::numactl();
         let (_, range, _) = r
-            .malloc(&mut heap, ByteSize::from_mib(100), "a", &["main", "malloc"], None, Nanos::ZERO)
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(100),
+                "a",
+                &["main", "malloc"],
+                None,
+                Nanos::ZERO,
+            )
             .unwrap();
-        r.free(&mut heap, range.start, Nanos::from_millis(1.0)).unwrap();
+        r.free(&mut heap, range.start, Nanos::from_millis(1.0))
+            .unwrap();
         // Space is reusable afterwards.
         let (_, again, _) = r
-            .malloc(&mut heap, ByteSize::from_mib(100), "b", &["main", "malloc"], None, Nanos::from_millis(2.0))
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(100),
+                "b",
+                &["main", "malloc"],
+                None,
+                Nanos::from_millis(2.0),
+            )
             .unwrap();
         assert_eq!(heap.page_table().tier_of(again.start), TierId::MCDRAM);
         assert_eq!(r.promoted_hwm(), ByteSize::from_mib(100));
@@ -363,7 +421,10 @@ mod tests {
     #[test]
     fn display_names_match_the_figure_legend() {
         assert_eq!(format!("{}", PlacementApproach::DdrOnly), "DDR");
-        assert_eq!(format!("{}", PlacementApproach::NumactlPreferred), "MCDRAM*");
+        assert_eq!(
+            format!("{}", PlacementApproach::NumactlPreferred),
+            "MCDRAM*"
+        );
         assert_eq!(format!("{}", PlacementApproach::CacheMode), "Cache");
         assert_eq!(format!("{}", PlacementApproach::Framework), "Framework");
     }

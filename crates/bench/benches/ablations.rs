@@ -7,10 +7,10 @@
 //! * PEBS sampling-period sweep (samples captured vs. attribution quality).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmem_advisor::knapsack::{greedy_by_value, solve_exact, Item};
 use hmsim_analysis::analyze_trace;
 use hmsim_callstack::{AslrLayout, ProgramImage, SiteCache, SiteDecision, Translator, Unwinder};
 use hmsim_common::{ByteSize, DetRng};
-use hmem_advisor::knapsack::{greedy_by_value, solve_exact, Item};
 
 fn knapsack_items(n: usize) -> Vec<Item> {
     let mut rng = DetRng::new(42);
@@ -70,7 +70,13 @@ fn bench_site_cache(c: &mut Criterion) {
                 None => {
                     let (translated, _) = translator.translate(&raw);
                     let promote = !translated.is_empty();
-                    cache.annotate(&raw, SiteDecision { promote, allocator: 0 });
+                    cache.annotate(
+                        &raw,
+                        SiteDecision {
+                            promote,
+                            allocator: 0,
+                        },
+                    );
                     promote
                 }
             }
@@ -105,7 +111,11 @@ fn bench_sampling_period(c: &mut Criterion) {
         .unwrap();
         let trace = run.trace.as_ref().unwrap();
         let report = analyze_trace(trace);
-        let top = report.objects.first().map(|o| o.name.clone()).unwrap_or_default();
+        let top = report
+            .objects
+            .first()
+            .map(|o| o.name.clone())
+            .unwrap_or_default();
         println!(
             "period {period:>7}: {} samples, overhead {:.3}%, hottest object: {} ({} attributed misses)",
             trace.sample_count(),
@@ -118,18 +128,22 @@ fn bench_sampling_period(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sampling_period");
     group.sample_size(10);
     for period in [4_001u64, 37_589] {
-        group.bench_with_input(BenchmarkId::new("profiled_run", period), &period, |b, &p| {
-            b.iter(|| {
-                AppRun::new(
-                    &spec,
-                    RunConfig::flat(ByteSize::from_mib(256))
-                        .with_iterations(3)
-                        .with_profiling(ProfilerConfig::dense(p)),
-                )
-                .execute(RouterFactory::ddr())
-                .unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("profiled_run", period),
+            &period,
+            |b, &p| {
+                b.iter(|| {
+                    AppRun::new(
+                        &spec,
+                        RunConfig::flat(ByteSize::from_mib(256))
+                            .with_iterations(3)
+                            .with_profiling(ProfilerConfig::dense(p)),
+                    )
+                    .execute(RouterFactory::ddr())
+                    .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -16,7 +16,10 @@ fn bench_fig1(c: &mut Criterion) {
 
     // Print the regenerated figure once.
     println!("\n=== Figure 1: STREAM Triad bandwidth (GB/s) ===");
-    println!("{:>6} {:>10} {:>14} {:>15}", "cores", "DDR", "MCDRAM/Flat", "MCDRAM/Cache");
+    println!(
+        "{:>6} {:>10} {:>14} {:>15}",
+        "cores", "DDR", "MCDRAM/Flat", "MCDRAM/Cache"
+    );
     for (cores, ddr, flat, cache) in stream.figure1(&machine) {
         println!("{cores:>6} {ddr:>10.1} {flat:>14.1} {cache:>15.1}");
     }
@@ -30,19 +33,56 @@ fn bench_fig1(c: &mut Criterion) {
             };
             b.iter(|| s.run_flat(&machine, TierId::DDR));
         });
-        group.bench_with_input(BenchmarkId::new("mcdram_flat", cores), &cores, |b, &cores| {
-            let s = StreamBenchmark {
-                core_counts: vec![cores],
-                ..StreamBenchmark::default()
-            };
-            b.iter(|| s.run_flat(&machine, TierId::MCDRAM));
-        });
-        group.bench_with_input(BenchmarkId::new("mcdram_cache", cores), &cores, |b, &cores| {
-            let s = StreamBenchmark {
-                core_counts: vec![cores],
-                ..StreamBenchmark::default()
-            };
-            b.iter(|| s.run_cache_mode(&machine));
+        group.bench_with_input(
+            BenchmarkId::new("mcdram_flat", cores),
+            &cores,
+            |b, &cores| {
+                let s = StreamBenchmark {
+                    core_counts: vec![cores],
+                    ..StreamBenchmark::default()
+                };
+                b.iter(|| s.run_flat(&machine, TierId::MCDRAM));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mcdram_cache", cores),
+            &cores,
+            |b, &cores| {
+                let s = StreamBenchmark {
+                    core_counts: vec![cores],
+                    ..StreamBenchmark::default()
+                };
+                b.iter(|| s.run_cache_mode(&machine));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Trace-driven counterpart of Figure 1: the Triad kernel pushed through the
+/// cycle-approximate engine via the streaming API (no materialized access
+/// vectors), reporting simulated accesses per second for DDR-resident and
+/// MCDRAM-resident data.
+fn bench_fig1_trace_engine(c: &mut Criterion) {
+    use hmsim_apps::TriadStream;
+    use hmsim_common::{Address, ByteSize};
+    use hmsim_machine::{MachineConfig as Mc, PageTable, TraceEngine};
+
+    let config = Mc::tiny_test();
+    let triad = TriadStream::new(Address(0x4000_0000), ByteSize::from_mib(2), 8, 2);
+
+    let mut group = c.benchmark_group("fig1_triad_trace_engine");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(triad.total_accesses()));
+    for (label, tier) in [("ddr", TierId::DDR), ("mcdram_flat", TierId::MCDRAM)] {
+        let mut pt = PageTable::new(TierId::DDR);
+        pt.map_range(triad.working_set(), tier);
+        let t = triad.clone();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut e = TraceEngine::new(&config);
+                e.run_stream(t.clone(), &pt)
+            });
         });
     }
     group.finish();
@@ -51,6 +91,6 @@ fn bench_fig1(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_fig1
+    targets = bench_fig1, bench_fig1_trace_engine
 }
 criterion_main!(benches);

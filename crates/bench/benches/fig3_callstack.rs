@@ -55,9 +55,13 @@ fn bench_fig3(c: &mut Criterion) {
             let (raw, _) = unwinder.unwind(&stack).unwrap();
             b.iter(|| translator.translate(&raw));
         });
-        group.bench_with_input(BenchmarkId::new("synthetic_walk", depth), &depth, |b, &d| {
-            b.iter(|| unwinder.walk_synthetic_frames(d));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("synthetic_walk", depth),
+            &depth,
+            |b, &d| {
+                b.iter(|| unwinder.walk_synthetic_frames(d));
+            },
+        );
     }
     group.finish();
 }

@@ -8,12 +8,12 @@
 //! applications so pipeline-cost regressions are caught.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmem_advisor::SelectionStrategy;
 use hmem_core::experiment::{run_full_evaluation, ExperimentConfig};
 use hmem_core::pipeline::FrameworkPipeline;
 use hmem_core::report;
 use hmsim_apps::app_by_name;
 use hmsim_common::ByteSize;
-use hmem_advisor::SelectionStrategy;
 
 fn bench_fig4(c: &mut Criterion) {
     // Regenerate the full grid once and print it.
@@ -31,26 +31,49 @@ fn bench_fig4(c: &mut Criterion) {
     group.sample_size(10);
     for app in ["miniFE", "HPCG"] {
         let spec = app_by_name(app).unwrap();
-        group.bench_with_input(BenchmarkId::new("framework_pipeline", app), &spec, |b, spec| {
-            b.iter(|| {
-                FrameworkPipeline::new(
-                    ByteSize::from_mib(128),
-                    SelectionStrategy::Misses {
-                        threshold_percent: 0.0,
-                    },
-                )
-                .with_iterations(5)
-                .run(spec)
-                .unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("framework_pipeline", app),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    FrameworkPipeline::new(
+                        ByteSize::from_mib(128),
+                        SelectionStrategy::Misses {
+                            threshold_percent: 0.0,
+                        },
+                    )
+                    .with_iterations(5)
+                    .run(spec)
+                    .unwrap()
+                });
+            },
+        );
     }
+    group.finish();
+}
+
+/// The strategy × budget sweep for one application — the unit the experiment
+/// layer now fans out over scoped worker threads. Tracks the wall-clock of a
+/// whole per-app grid so parallelization regressions are caught.
+fn bench_fig4_parallel_grid(c: &mut Criterion) {
+    use hmem_core::experiment::run_app_experiment;
+
+    let spec = app_by_name("miniFE").unwrap();
+    let config = ExperimentConfig {
+        iterations_override: Some(5),
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig4_parallel_grid");
+    group.sample_size(10);
+    group.bench_function("minife_full_grid", |b| {
+        b.iter(|| run_app_experiment(&spec, &config).unwrap());
+    });
     group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig4
+    targets = bench_fig4, bench_fig4_parallel_grid
 }
 criterion_main!(benches);

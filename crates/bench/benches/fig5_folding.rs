@@ -12,7 +12,10 @@ fn bench_fig5(c: &mut Criterion) {
 
     println!("\n=== Figure 5: SNAP per-kernel MIPS (framework vs numactl) ===");
     for (name, fw, nu) in &data.kernel_mips {
-        println!("  {name:<18} framework {fw:>9.1} MIPS | numactl {nu:>9.1} MIPS | ratio {:.2}", fw / nu);
+        println!(
+            "  {name:<18} framework {fw:>9.1} MIPS | numactl {nu:>9.1} MIPS | ratio {:.2}",
+            fw / nu
+        );
     }
     println!("\nfolded MIPS profile under the framework:");
     for (pos, mips) in data.framework.mips_series() {

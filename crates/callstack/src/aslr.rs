@@ -125,7 +125,10 @@ mod tests {
         let runtime = aslr.to_runtime(libc_idx, libc.link_base.offset(malloc.offset + 8));
         assert_eq!(aslr.module_of_runtime(&img, runtime), Some(libc_idx));
         // An address far away from every module maps to nothing.
-        assert_eq!(aslr.module_of_runtime(&img, Address(0xffff_ffff_f000)), None);
+        assert_eq!(
+            aslr.module_of_runtime(&img, Address(0xffff_ffff_f000)),
+            None
+        );
     }
 
     #[test]

@@ -129,7 +129,13 @@ impl ProgramImage {
         ];
         let mut offset = 0x1400u64;
         for f in kernel_functions {
-            main_syms.push(Symbol::new(*f, offset, 0x600, "kernels.cpp", 30 + offset / 0x100));
+            main_syms.push(Symbol::new(
+                *f,
+                offset,
+                0x600,
+                "kernels.cpp",
+                30 + offset / 0x100,
+            ));
             offset += 0x600;
         }
         let main_size = ByteSize::from_bytes((offset + 0x1000).next_multiple_of(0x1000));
@@ -163,7 +169,13 @@ impl ProgramImage {
                 SymbolTable::new(vec![
                     Symbol::new("__kmp_fork_call", 0x0, 0x300, "kmp_runtime.cpp", 1500),
                     Symbol::new("kmp_malloc", 0x300, 0x100, "kmp_alloc.cpp", 77),
-                    Symbol::new("__kmp_invoke_microtask", 0x400, 0x200, "kmp_runtime.cpp", 2200),
+                    Symbol::new(
+                        "__kmp_invoke_microtask",
+                        0x400,
+                        0x200,
+                        "kmp_runtime.cpp",
+                        2200,
+                    ),
                 ]),
             ))
             .expect("libiomp5 does not overlap");

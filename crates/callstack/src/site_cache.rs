@@ -56,7 +56,10 @@ impl SiteCache {
     /// cache is full the insertion is dropped — allocation sites are few and
     /// stable, so simple is fine; the capacity exists only to bound memory.
     pub fn annotate(&mut self, stack: &CallStack, decision: SiteDecision) {
-        if self.capacity > 0 && self.map.len() >= self.capacity && !self.map.contains_key(&stack.raw_hash()) {
+        if self.capacity > 0
+            && self.map.len() >= self.capacity
+            && !self.map.contains_key(&stack.raw_hash())
+        {
             return;
         }
         self.map.insert(stack.raw_hash(), decision);

@@ -121,12 +121,11 @@ impl TranslatedCallStack {
 
     /// The stable site key for this stack.
     pub fn site_key(&self) -> SiteKey {
-        SiteKey::from_frames(self.frames.iter().map(|f| {
-            format!(
-                "{}!{}+0x{:x}",
-                f.module, f.function, f.offset_in_function
-            )
-        }))
+        SiteKey::from_frames(
+            self.frames
+                .iter()
+                .map(|f| format!("{}!{}+0x{:x}", f.module, f.function, f.offset_in_function)),
+        )
     }
 }
 
@@ -136,11 +135,7 @@ impl fmt::Display for TranslatedCallStack {
             if i > 0 {
                 write!(f, " < ")?;
             }
-            write!(
-                f,
-                "{}({}:{})",
-                fr.function, fr.source_file, fr.line
-            )?;
+            write!(f, "{}({}:{})", fr.function, fr.source_file, fr.line)?;
         }
         Ok(())
     }

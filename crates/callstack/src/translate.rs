@@ -131,10 +131,18 @@ mod tests {
         let site = ["main", "initialize", "allocate_state", "malloc"];
         let (raw1, _) = u1.unwind(&site).unwrap();
         let (raw2, _) = u2.unwind(&site).unwrap();
-        assert_ne!(raw1.raw_hash(), raw2.raw_hash(), "raw stacks differ under ASLR");
+        assert_ne!(
+            raw1.raw_hash(),
+            raw2.raw_hash(),
+            "raw stacks differ under ASLR"
+        );
         let (tr1, _) = t1.translate(&raw1);
         let (tr2, _) = t2.translate(&raw2);
-        assert_eq!(tr1.site_key(), tr2.site_key(), "translated sites must match");
+        assert_eq!(
+            tr1.site_key(),
+            tr2.site_key(),
+            "translated sites must match"
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl fmt::Display for HmError {
                 "out of memory in tier {tier}: requested {requested} bytes, {available} available"
             ),
             HmError::UnknownAddress(addr) => {
-                write!(f, "address 0x{addr:x} does not belong to any live allocation")
+                write!(
+                    f,
+                    "address 0x{addr:x} does not belong to any live allocation"
+                )
             }
             HmError::Parse { line, message } => match line {
                 Some(line) => write!(f, "parse error at line {line}: {message}"),
@@ -106,8 +109,12 @@ mod tests {
         assert!(s.contains("1024"));
         assert!(s.contains("512"));
 
-        assert!(HmError::UnknownAddress(0xdead).to_string().contains("0xdead"));
-        assert!(HmError::parse_at(7, "bad field").to_string().contains("line 7"));
+        assert!(HmError::UnknownAddress(0xdead)
+            .to_string()
+            .contains("0xdead"));
+        assert!(HmError::parse_at(7, "bad field")
+            .to_string()
+            .contains("line 7"));
     }
 
     #[test]

@@ -6,24 +6,38 @@
 //! runs with the same master seed therefore produce identical traces,
 //! identical advisor decisions and identical figures, while distinct
 //! components never share a stream.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public domain algorithm by
+//! Blackman & Vigna) seeded through SplitMix64, so the workspace carries no
+//! external RNG dependency and the byte stream is stable across toolchains.
 
 /// Deterministic random number generator with labelled sub-streams.
 #[derive(Clone, Debug)]
 pub struct DetRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Create a generator from a master seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            seed,
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { seed, state }
     }
 
     /// The master seed this generator (or its ancestors) was created with.
@@ -42,37 +56,58 @@ impl DetRng {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x100000001b3);
         }
-        DetRng {
-            seed: h,
-            inner: StdRng::seed_from_u64(h),
-        }
+        DetRng::new(h)
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Next raw 64-bit value (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit value (upper half of [`next_u64`](Self::next_u64)).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of entropy).
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
     pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "uniform_range requires lo < hi ({lo} >= {hi})");
+        let span = hi - lo;
+        // Lemire's multiply-shift bounded generation; the modulo bias at
+        // 64-bit state is far below anything the simulator can observe.
+        let wide = u128::from(self.next_u64()) * u128::from(span);
+        lo + (wide >> 64) as u64
     }
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.uniform() < p
     }
 
     /// Approximately normally distributed value (Irwin–Hall sum of 12
     /// uniforms), mean `mean`, standard deviation `std`.
     pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
-        let sum: f64 = (0..12).map(|_| self.inner.gen::<f64>()).sum();
+        let sum: f64 = (0..12).map(|_| self.uniform()).sum();
         mean + (sum - 6.0) * std
     }
 
     /// Exponentially distributed value with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.gen::<f64>();
+        let u = self.uniform();
         -mean * (1.0 - u).ln()
     }
 
@@ -83,7 +118,7 @@ impl DetRng {
         if total <= 0.0 {
             return None;
         }
-        let mut x = self.inner.gen::<f64>() * total;
+        let mut x = self.uniform() * total;
         for (i, &w) in weights.iter().enumerate() {
             if w <= 0.0 {
                 continue;
@@ -100,27 +135,9 @@ impl DetRng {
     /// Shuffle a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.uniform_range(0, i as u64 + 1) as usize;
             slice.swap(i, j);
         }
-    }
-}
-
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -160,10 +177,20 @@ mod tests {
     }
 
     #[test]
+    fn uniform_range_covers_whole_span() {
+        let mut r = DetRng::new(17);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.uniform_range(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "some bucket never drawn: {seen:?}");
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = DetRng::new(3);
-        assert!(!(0..100).map(|_| r.chance(0.0)).any(|b| b));
-        assert!((0..100).map(|_| r.chance(1.0)).all(|b| b));
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
     }
 
     #[test]

@@ -160,7 +160,7 @@ fn group_thousands(digits: &str) -> String {
     let mut out = String::new();
     let bytes: Vec<char> = digits.chars().collect();
     for (i, c) in bytes.iter().enumerate() {
-        if i > 0 && (bytes.len() - i) % 3 == 0 {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(*c);
@@ -194,7 +194,10 @@ mod tests {
         let csv = t.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         let parsed = csv_parse_line(lines[1]);
-        assert_eq!(parsed, vec!["a,b".to_string(), "he said \"hi\"".to_string()]);
+        assert_eq!(
+            parsed,
+            vec!["a,b".to_string(), "he said \"hi\"".to_string()]
+        );
     }
 
     #[test]

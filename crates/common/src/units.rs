@@ -124,11 +124,11 @@ impl fmt::Debug for ByteSize {
 impl fmt::Display for ByteSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        if b >= 1024 * 1024 * 1024 && b % (1024 * 1024 * 1024) == 0 {
+        if b >= 1024 * 1024 * 1024 && b.is_multiple_of(1024 * 1024 * 1024) {
             write!(f, "{}GiB", b / (1024 * 1024 * 1024))
-        } else if b >= 1024 * 1024 && b % (1024 * 1024) == 0 {
+        } else if b >= 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
             write!(f, "{}MiB", b / (1024 * 1024))
-        } else if b >= 1024 && b % 1024 == 0 {
+        } else if b >= 1024 && b.is_multiple_of(1024) {
             write!(f, "{}KiB", b / 1024)
         } else {
             write!(f, "{b}B")
@@ -280,7 +280,12 @@ impl AddressRange {
         let last = if self.len.is_zero() {
             first
         } else {
-            self.end().offset(PAGE_SIZE - 1).page().0.saturating_sub(1).max(first)
+            self.end()
+                .offset(PAGE_SIZE - 1)
+                .page()
+                .0
+                .saturating_sub(1)
+                .max(first)
         };
         (first..=last).map(Page)
     }

@@ -9,12 +9,13 @@
 //! of Figure 4.
 
 use crate::metrics::delta_fom_per_mbyte;
+use crate::par::parallel_map;
 use crate::pipeline::FrameworkPipeline;
 use crate::simrun::{AppRun, RunConfig};
 use auto_hbwmalloc::RouterFactory;
+use hmem_advisor::SelectionStrategy;
 use hmsim_apps::{all_apps, AppSpec};
 use hmsim_common::{ByteSize, HmResult};
-use hmem_advisor::SelectionStrategy;
 
 /// Grid configuration.
 #[derive(Clone, Debug)]
@@ -135,10 +136,23 @@ impl AppExperiment {
     }
 }
 
-/// Run the whole grid for one application.
-pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult<AppExperiment> {
-    let mut results = Vec::new();
+/// One baseline approach of the Figure-4 comparison.
+/// One independent simulation of the per-app grid: a framework
+/// strategy × budget configuration or a profiling-free baseline. Folding
+/// both kinds into one job list lets a single `parallel_map` overlap
+/// baseline runs with grid stragglers instead of draining two barriers.
+#[derive(Clone, Copy, Debug)]
+enum GridJob {
+    Framework(SelectionStrategy, ByteSize),
+    Numactl,
+    Autohbw,
+    Cache,
+}
 
+/// Run the whole grid for one application. The framework's strategy × budget
+/// configurations and the profiling-free baselines are all independent
+/// simulations, so they are fanned out over scoped worker threads.
+pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult<AppExperiment> {
     let apply_iters = |mut cfg: RunConfig| {
         if let Some(it) = config.iterations_override {
             cfg = cfg.with_iterations(it);
@@ -147,69 +161,90 @@ pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult
         cfg
     };
 
-    // DDR reference.
+    // DDR reference first: every other configuration's efficiency metric is
+    // relative to it.
     let ddr = AppRun::new(spec, apply_iters(RunConfig::flat(config.fcfs_share(spec))))
         .execute(RouterFactory::ddr())?;
     let ddr_fom = ddr.fom;
 
-    // Framework grid: strategies × budgets.
-    for strategy in &config.strategies {
-        for budget in config.budgets_for(spec) {
-            let mut pipeline = FrameworkPipeline::new(*budget, *strategy);
-            pipeline.seed = config.seed;
-            if let Some(it) = config.iterations_override {
-                pipeline = pipeline.with_iterations(it);
-            }
-            let outcome = pipeline.run(spec)?;
-            let mib = budget.mib();
-            results.push(ApproachResult {
-                label: format!("{}/{}", strategy, budget),
-                fom: outcome.result.fom,
-                mcdram_hwm: outcome.result.mcdram_hwm,
-                charged_mcdram_mib: mib,
-                dfom_per_mbyte: delta_fom_per_mbyte(outcome.result.fom, ddr_fom, mib),
-                is_framework: true,
-            });
-        }
-    }
-
-    // Baselines.
     let full_mcdram_mib = ByteSize::from_gib(16).mib();
     let share = config.fcfs_share(spec);
 
-    let numactl = AppRun::new(spec, apply_iters(RunConfig::flat(share)))
-        .execute(RouterFactory::numactl())?;
-    results.push(ApproachResult {
-        label: "MCDRAM*".to_string(),
-        fom: numactl.fom,
-        mcdram_hwm: numactl.mcdram_hwm,
-        charged_mcdram_mib: full_mcdram_mib,
-        dfom_per_mbyte: delta_fom_per_mbyte(numactl.fom, ddr_fom, full_mcdram_mib),
-        is_framework: false,
+    // Framework grid (strategies × budgets) plus the three baselines, in the
+    // order the results list reports them.
+    let jobs: Vec<GridJob> = config
+        .strategies
+        .iter()
+        .flat_map(|s| {
+            config
+                .budgets_for(spec)
+                .iter()
+                .map(move |b| GridJob::Framework(*s, *b))
+        })
+        .chain([GridJob::Numactl, GridJob::Autohbw, GridJob::Cache])
+        .collect();
+    let outcomes = parallel_map(jobs, |job| -> HmResult<ApproachResult> {
+        Ok(match job {
+            GridJob::Framework(strategy, budget) => {
+                let mut pipeline = FrameworkPipeline::new(budget, strategy);
+                pipeline.seed = config.seed;
+                if let Some(it) = config.iterations_override {
+                    pipeline = pipeline.with_iterations(it);
+                }
+                let outcome = pipeline.run(spec)?;
+                let mib = budget.mib();
+                ApproachResult {
+                    label: format!("{}/{}", strategy, budget),
+                    fom: outcome.result.fom,
+                    mcdram_hwm: outcome.result.mcdram_hwm,
+                    charged_mcdram_mib: mib,
+                    dfom_per_mbyte: delta_fom_per_mbyte(outcome.result.fom, ddr_fom, mib),
+                    is_framework: true,
+                }
+            }
+            GridJob::Numactl => {
+                let run = AppRun::new(spec, apply_iters(RunConfig::flat(share)))
+                    .execute(RouterFactory::numactl())?;
+                ApproachResult {
+                    label: "MCDRAM*".to_string(),
+                    fom: run.fom,
+                    mcdram_hwm: run.mcdram_hwm,
+                    charged_mcdram_mib: full_mcdram_mib,
+                    dfom_per_mbyte: delta_fom_per_mbyte(run.fom, ddr_fom, full_mcdram_mib),
+                    is_framework: false,
+                }
+            }
+            GridJob::Autohbw => {
+                let run = AppRun::new(spec, apply_iters(RunConfig::flat(share)))
+                    .execute(RouterFactory::autohbw_1m())?;
+                ApproachResult {
+                    label: "autohbw/1m".to_string(),
+                    fom: run.fom,
+                    mcdram_hwm: run.mcdram_hwm,
+                    charged_mcdram_mib: 0.0,
+                    dfom_per_mbyte: 0.0,
+                    is_framework: false,
+                }
+            }
+            GridJob::Cache => {
+                let run = AppRun::new(spec, apply_iters(RunConfig::cache_mode()))
+                    .execute(RouterFactory::cache_mode())?;
+                ApproachResult {
+                    label: "Cache".to_string(),
+                    fom: run.fom,
+                    mcdram_hwm: ByteSize::ZERO,
+                    charged_mcdram_mib: full_mcdram_mib,
+                    dfom_per_mbyte: delta_fom_per_mbyte(run.fom, ddr_fom, full_mcdram_mib),
+                    is_framework: false,
+                }
+            }
+        })
     });
 
-    let autohbw = AppRun::new(spec, apply_iters(RunConfig::flat(share)))
-        .execute(RouterFactory::autohbw_1m())?;
-    results.push(ApproachResult {
-        label: "autohbw/1m".to_string(),
-        fom: autohbw.fom,
-        mcdram_hwm: autohbw.mcdram_hwm,
-        charged_mcdram_mib: 0.0,
-        dfom_per_mbyte: 0.0,
-        is_framework: false,
-    });
-
-    let cache = AppRun::new(spec, apply_iters(RunConfig::cache_mode()))
-        .execute(RouterFactory::cache_mode())?;
-    results.push(ApproachResult {
-        label: "Cache".to_string(),
-        fom: cache.fom,
-        mcdram_hwm: ByteSize::ZERO,
-        charged_mcdram_mib: full_mcdram_mib,
-        dfom_per_mbyte: delta_fom_per_mbyte(cache.fom, ddr_fom, full_mcdram_mib),
-        is_framework: false,
-    });
-
+    let mut results = Vec::new();
+    for r in outcomes {
+        results.push(r?);
+    }
     results.push(ApproachResult {
         label: "DDR".to_string(),
         fom: ddr_fom,
@@ -227,26 +262,13 @@ pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult
     })
 }
 
-/// Run the grid for every application, in parallel (one worker per app).
+/// Run the grid for every application, in parallel (work-shared across the
+/// machine's cores).
 pub fn run_full_evaluation(config: &ExperimentConfig) -> Vec<AppExperiment> {
-    let apps = all_apps();
-    let mut out: Vec<Option<AppExperiment>> = vec![None; apps.len()];
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = apps
-            .iter()
-            .map(|spec| {
-                let cfg = config.clone();
-                scope.spawn(move |_| run_app_experiment(spec, &cfg))
-            })
-            .collect();
-        for (slot, handle) in out.iter_mut().zip(handles) {
-            if let Ok(Ok(result)) = handle.join() {
-                *slot = Some(result);
-            }
-        }
-    })
-    .expect("experiment workers do not panic");
-    out.into_iter().flatten().collect()
+    parallel_map(all_apps(), |spec| run_app_experiment(&spec, config).ok())
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]

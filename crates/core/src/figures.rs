@@ -6,13 +6,13 @@
 use crate::pipeline::FrameworkPipeline;
 use crate::simrun::{AppRun, RunConfig, RunResult};
 use auto_hbwmalloc::{AllocationRouter, AutoHbwMalloc, RouterFactory};
+use hmem_advisor::SelectionStrategy;
 use hmsim_analysis::FoldedTimeline;
 use hmsim_apps::{all_apps, app_by_name, AppSpec, StreamBenchmark};
 use hmsim_callstack::CallstackCostModel;
 use hmsim_common::{ByteSize, HmResult, Nanos};
 use hmsim_machine::MachineConfig;
 use hmsim_profiler::ProfilerConfig;
-use hmem_advisor::SelectionStrategy;
 
 // ---------------------------------------------------------------------------
 // Figure 1
@@ -113,7 +113,10 @@ pub fn table1_row(spec: &AppSpec, iterations_override: Option<u32>) -> HmResult<
         geometry: if spec.ranks == 1 {
             format!("{} threads", spec.threads_per_rank)
         } else {
-            format!("{} ranks, {} threads/rank", spec.ranks, spec.threads_per_rank)
+            format!(
+                "{} ranks, {} threads/rank",
+                spec.ranks, spec.threads_per_rank
+            )
         },
         problem_size: spec.problem_size.to_string(),
         fom_name: spec.fom_name.to_string(),
@@ -165,9 +168,9 @@ pub fn figure5(iterations: u32, bins: usize) -> HmResult<Figure5Data> {
     )
     .with_iterations(iterations);
     let outcome = pipeline.run(&spec)?;
-    let (unwinder, translator) = AppRun::callstack_machinery(&spec, 0xF16_5);
-    let library = AutoHbwMalloc::new(outcome.placement.clone(), unwinder, translator)
-        .with_budget(budget);
+    let (unwinder, translator) = AppRun::callstack_machinery(&spec, 0xF165);
+    let library =
+        AutoHbwMalloc::new(outcome.placement.clone(), unwinder, translator).with_budget(budget);
     let framework_run = AppRun::new(
         &spec,
         RunConfig::flat(budget)
@@ -206,19 +209,14 @@ pub fn figure5(iterations: u32, bins: usize) -> HmResult<Figure5Data> {
                     .find(|(name, _)| name == k.name)
                     .map(|(_, t)| *t)
                     .unwrap_or(Nanos::ZERO);
-                let instructions =
-                    spec.instructions_per_iteration as f64 * k.instruction_share;
+                let instructions = spec.instructions_per_iteration as f64 * k.instruction_share;
                 if time.secs() <= 0.0 {
                     0.0
                 } else {
                     instructions / time.secs() / 1e6
                 }
             };
-            (
-                k.name.to_string(),
-                mips(&framework_run),
-                mips(&numactl_run),
-            )
+            (k.name.to_string(), mips(&framework_run), mips(&numactl_run))
         })
         .collect();
 
@@ -254,7 +252,12 @@ mod tests {
         let rows = table1(Some(4)).unwrap();
         assert_eq!(rows.len(), 8);
         for row in &rows {
-            assert!(row.memory_hwm_mib > 100.0, "{} HWM {}", row.application, row.memory_hwm_mib);
+            assert!(
+                row.memory_hwm_mib > 100.0,
+                "{} HWM {}",
+                row.application,
+                row.memory_hwm_mib
+            );
             assert!(
                 row.monitoring_overhead_percent < 10.0,
                 "{} overhead {}",
@@ -296,6 +299,9 @@ mod tests {
             outer_ratio < sweep_ratio,
             "outer {outer_ratio} vs sweep {sweep_ratio}"
         );
-        assert!(outer_ratio < 1.0, "framework MIPS dip missing ({outer_ratio})");
+        assert!(
+            outer_ratio < 1.0,
+            "framework MIPS dip missing ({outer_ratio})"
+        );
     }
 }

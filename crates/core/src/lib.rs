@@ -23,11 +23,15 @@
 pub mod experiment;
 pub mod figures;
 pub mod metrics;
+pub mod par;
 pub mod pipeline;
 pub mod report;
 pub mod simrun;
 
-pub use experiment::{ApproachResult, AppExperiment, ExperimentConfig, run_app_experiment, run_full_evaluation};
+pub use experiment::{
+    run_app_experiment, run_full_evaluation, AppExperiment, ApproachResult, ExperimentConfig,
+};
 pub use metrics::delta_fom_per_mbyte;
+pub use par::parallel_map;
 pub use pipeline::{FrameworkOutcome, FrameworkPipeline};
 pub use simrun::{AppRun, RunConfig, RunResult};

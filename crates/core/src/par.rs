@@ -1,0 +1,122 @@
+//! Tiny scoped-thread work-sharing helper used to parallelize independent
+//! simulation runs (the app × budget × strategy grid) without external
+//! dependencies.
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set while the current thread is a `parallel_map` worker, so nested
+    /// calls run inline instead of multiplying the thread count.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Apply `f` to every item, fanning the work out over up to
+/// `available_parallelism` scoped worker threads, and return the results in
+/// input order.
+///
+/// Items are pulled from a shared queue, so heterogeneous run times (a SNAP
+/// pipeline next to a CGPOP baseline) balance automatically. With zero or one
+/// item, on a single-core machine, or when called from inside another
+/// `parallel_map` worker (e.g. the per-app grid inside the full-evaluation
+/// fan-out), the work runs inline — the machine is already saturated one
+/// level up, and nesting would spawn up to cores² threads.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 || IN_WORKER.with(|w| w.get()) {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Shared LIFO queue of (original index, item); each worker drains it and
+    // tags results with the index so the output order matches the input.
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    let mut out = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("queue lock not poisoned").pop();
+                        match next {
+                            Some((i, item)) => out.push((i, f(item))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker does not panic"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map((0..100).collect(), |i: u64| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert!(parallel_map(Vec::<u32>::new(), |i| i).is_empty());
+        assert_eq!(parallel_map(vec![7], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_calls_run_inline_in_workers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::thread::ThreadId;
+        let inner_spawns = AtomicUsize::new(0);
+        parallel_map((0..8).collect::<Vec<u32>>(), |_| {
+            let outer: ThreadId = std::thread::current().id();
+            parallel_map((0..8).collect::<Vec<u32>>(), |_| {
+                if std::thread::current().id() != outer {
+                    inner_spawns.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert_eq!(
+            inner_spawns.load(Ordering::Relaxed),
+            0,
+            "nested parallel_map must not spawn additional workers"
+        );
+    }
+
+    #[test]
+    fn runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        parallel_map((0..64).collect::<Vec<u32>>(), |_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let distinct = ids.lock().unwrap().len();
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(distinct > 1, "expected >1 worker, saw {distinct}");
+        }
+    }
+}

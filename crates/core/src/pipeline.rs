@@ -11,12 +11,12 @@
 
 use crate::simrun::{AppRun, RunConfig, RunResult};
 use auto_hbwmalloc::{AllocationRouter, AutoHbwMalloc, RouterFactory};
+use hmem_advisor::{Advisor, MemorySpec, PlacementReport, SelectionStrategy};
 use hmsim_analysis::{analyze_trace, ObjectReport};
 use hmsim_apps::AppSpec;
-use hmsim_common::{ByteSize, HmResult, HmError};
+use hmsim_common::{ByteSize, HmError, HmResult};
 use hmsim_profiler::ProfilerConfig;
 use hmsim_trace::TraceSummary;
-use hmem_advisor::{Advisor, MemorySpec, PlacementReport, SelectionStrategy};
 
 /// Configuration of one end-to-end pipeline execution.
 #[derive(Clone, Debug)]
@@ -128,10 +128,14 @@ mod tests {
     use crate::simrun::{AppRun, RunConfig};
     use hmsim_apps::app_by_name;
 
-    fn quick(budget_mib: u64, strategy: SelectionStrategy, app: &str) -> (FrameworkOutcome, RunResult) {
+    fn quick(
+        budget_mib: u64,
+        strategy: SelectionStrategy,
+        app: &str,
+    ) -> (FrameworkOutcome, RunResult) {
         let spec = app_by_name(app).unwrap();
-        let pipeline = FrameworkPipeline::new(ByteSize::from_mib(budget_mib), strategy)
-            .with_iterations(8);
+        let pipeline =
+            FrameworkPipeline::new(ByteSize::from_mib(budget_mib), strategy).with_iterations(8);
         let outcome = pipeline.run(&spec).unwrap();
         let ddr = AppRun::new(
             &spec,

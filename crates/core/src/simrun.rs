@@ -14,8 +14,7 @@ use hmsim_callstack::{AslrLayout, ProgramImage, Translator, Unwinder};
 use hmsim_common::{Address, ByteSize, DetRng, HmResult, Nanos, ObjectId, TierId};
 use hmsim_heap::{ObjectKind, ProcessHeap};
 use hmsim_machine::{
-    AnalyticEngine, MachineConfig, MemoryMode, ObjectTraffic, PerfCounters, PhaseProfile,
-    Placement,
+    AnalyticEngine, MachineConfig, MemoryMode, ObjectTraffic, PerfCounters, PhaseProfile, Placement,
 };
 use hmsim_profiler::{Profiler, ProfilerConfig};
 use hmsim_trace::{TraceFile, TraceMetadata};
@@ -126,10 +125,22 @@ impl<'a> AppRun<'a> {
                 if !functions.contains(f)
                     && !matches!(
                         *f,
-                        "main" | "initialize" | "allocate_state" | "finalize" | "malloc"
-                            | "kmp_malloc" | "MPI_Init" | "MPI_Allreduce" | "MPI_Finalize"
-                            | "calloc" | "realloc" | "posix_memalign" | "free" | "backtrace"
-                            | "__kmp_fork_call" | "__kmp_invoke_microtask"
+                        "main"
+                            | "initialize"
+                            | "allocate_state"
+                            | "finalize"
+                            | "malloc"
+                            | "kmp_malloc"
+                            | "MPI_Init"
+                            | "MPI_Allreduce"
+                            | "MPI_Finalize"
+                            | "calloc"
+                            | "realloc"
+                            | "posix_memalign"
+                            | "free"
+                            | "backtrace"
+                            | "__kmp_fork_call"
+                            | "__kmp_invoke_microtask"
                     )
                 {
                     functions.push(f);
@@ -158,7 +169,7 @@ impl<'a> AppRun<'a> {
 
     fn cores_used(&self) -> u32 {
         let requested = self.spec.ranks * self.spec.threads_per_rank;
-        requested.min(self.config.machine.cores * self.config.machine.threads_per_core) as u32
+        requested.min(self.config.machine.cores * self.config.machine.threads_per_core)
     }
 
     /// Execute the run with the given router.
@@ -193,8 +204,7 @@ impl<'a> AppRun<'a> {
         // derived through the same unwind/translate machinery the framework
         // uses, so the profiling trace, the advisor report and the
         // interposition library all speak the same site language.
-        let (site_unwinder, site_translator) =
-            Self::callstack_machinery(spec, self.config.seed);
+        let (site_unwinder, site_translator) = Self::callstack_machinery(spec, self.config.seed);
         let canonical_sites: HashMap<&str, hmsim_callstack::SiteKey> = spec
             .objects
             .iter()
@@ -254,7 +264,11 @@ impl<'a> AppRun<'a> {
         // ------------------------------------------------------------------
         // Main iteration loop.
         // ------------------------------------------------------------------
-        let iterations = self.config.iterations_override.unwrap_or(spec.iterations).max(1);
+        let iterations = self
+            .config
+            .iterations_override
+            .unwrap_or(spec.iterations)
+            .max(1);
         let ranks = u64::from(spec.ranks);
         let cores = self.cores_used();
         let node_instructions = spec.instructions_per_iteration * ranks;
@@ -318,9 +332,9 @@ impl<'a> AppRun<'a> {
                 }
             }
 
-            // Kernels.
-            let kernel_list: Vec<(String, f64, f64, Vec<(&str, f64)>)> = if spec.kernels.is_empty()
-            {
+            // Kernels: (name, instruction share, miss share, object weights).
+            type KernelRow<'s> = (String, f64, f64, Vec<(&'s str, f64)>);
+            let kernel_list: Vec<KernelRow<'_>> = if spec.kernels.is_empty() {
                 vec![("iteration".to_string(), 1.0, 1.0, Vec::new())]
             } else {
                 spec.kernels
@@ -478,7 +492,10 @@ mod tests {
     #[test]
     fn ddr_run_produces_sane_results() {
         let spec = app_by_name("miniFE").unwrap();
-        let run = AppRun::new(&spec, RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10));
+        let run = AppRun::new(
+            &spec,
+            RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10),
+        );
         let result = run.execute(RouterFactory::ddr()).unwrap();
         assert!(result.fom > 0.0);
         assert!(result.total_time > Nanos::ZERO);
@@ -492,22 +509,39 @@ mod tests {
     fn numactl_run_uses_mcdram_and_beats_ddr() {
         let spec = app_by_name("miniFE").unwrap();
         let cfg = RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10);
-        let ddr = AppRun::new(&spec, cfg.clone()).execute(RouterFactory::ddr()).unwrap();
-        let numactl = AppRun::new(&spec, cfg).execute(RouterFactory::numactl()).unwrap();
+        let ddr = AppRun::new(&spec, cfg.clone())
+            .execute(RouterFactory::ddr())
+            .unwrap();
+        let numactl = AppRun::new(&spec, cfg)
+            .execute(RouterFactory::numactl())
+            .unwrap();
         assert!(numactl.mcdram_hwm > ByteSize::ZERO);
-        assert!(numactl.fom > ddr.fom, "numactl {} vs ddr {}", numactl.fom, ddr.fom);
+        assert!(
+            numactl.fom > ddr.fom,
+            "numactl {} vs ddr {}",
+            numactl.fom,
+            ddr.fom
+        );
     }
 
     #[test]
     fn cache_mode_run_beats_ddr_for_fitting_hot_sets() {
         let spec = app_by_name("miniFE").unwrap();
-        let ddr = AppRun::new(&spec, RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10))
-            .execute(RouterFactory::ddr())
-            .unwrap();
+        let ddr = AppRun::new(
+            &spec,
+            RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10),
+        )
+        .execute(RouterFactory::ddr())
+        .unwrap();
         let cache = AppRun::new(&spec, RunConfig::cache_mode().with_iterations(10))
             .execute(RouterFactory::cache_mode())
             .unwrap();
-        assert!(cache.fom > ddr.fom, "cache {} vs ddr {}", cache.fom, ddr.fom);
+        assert!(
+            cache.fom > ddr.fom,
+            "cache {} vs ddr {}",
+            cache.fom,
+            ddr.fom
+        );
         assert_eq!(cache.approach, "Cache");
     }
 
@@ -517,7 +551,9 @@ mod tests {
         let cfg = RunConfig::flat(ByteSize::from_mib(256))
             .with_iterations(5)
             .with_profiling(ProfilerConfig::default());
-        let result = AppRun::new(&spec, cfg).execute(RouterFactory::ddr()).unwrap();
+        let result = AppRun::new(&spec, cfg)
+            .execute(RouterFactory::ddr())
+            .unwrap();
         let trace = result.trace.expect("trace present");
         assert!(trace.alloc_count() >= spec.dynamic_objects().count());
         assert!(trace.sample_count() > 0, "PEBS samples recorded");
@@ -527,9 +563,12 @@ mod tests {
     #[test]
     fn kernel_times_are_reported_per_kernel() {
         let spec = app_by_name("SNAP").unwrap();
-        let result = AppRun::new(&spec, RunConfig::flat(ByteSize::from_mib(256)).with_iterations(3))
-            .execute(RouterFactory::ddr())
-            .unwrap();
+        let result = AppRun::new(
+            &spec,
+            RunConfig::flat(ByteSize::from_mib(256)).with_iterations(3),
+        )
+        .execute(RouterFactory::ddr())
+        .unwrap();
         assert_eq!(result.kernel_times.len(), spec.kernels.len());
         assert!(result.kernel_times.iter().all(|(_, t)| *t > Nanos::ZERO));
     }
@@ -537,14 +576,23 @@ mod tests {
     #[test]
     fn iterations_override_scales_time_but_not_fom_much() {
         let spec = app_by_name("miniFE").unwrap();
-        let short = AppRun::new(&spec, RunConfig::flat(ByteSize::from_mib(128)).with_iterations(5))
-            .execute(RouterFactory::ddr())
-            .unwrap();
-        let long = AppRun::new(&spec, RunConfig::flat(ByteSize::from_mib(128)).with_iterations(20))
-            .execute(RouterFactory::ddr())
-            .unwrap();
+        let short = AppRun::new(
+            &spec,
+            RunConfig::flat(ByteSize::from_mib(128)).with_iterations(5),
+        )
+        .execute(RouterFactory::ddr())
+        .unwrap();
+        let long = AppRun::new(
+            &spec,
+            RunConfig::flat(ByteSize::from_mib(128)).with_iterations(20),
+        )
+        .execute(RouterFactory::ddr())
+        .unwrap();
         assert!(long.loop_time > short.loop_time * 2.0);
         let rel = (long.fom - short.fom).abs() / long.fom;
-        assert!(rel < 0.1, "FOM should be roughly iteration-count independent ({rel})");
+        assert!(
+            rel < 0.1,
+            "FOM should be roughly iteration-count independent ({rel})"
+        );
     }
 }

@@ -1,0 +1,373 @@
+//! Minimal, dependency-free stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment is offline, so this crate provides the subset of the
+//! criterion 0.5 API the workspace's bench targets use: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Bencher::iter`], [`Throughput`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is plain
+//! wall-clock sampling with a warm-up pass and a per-benchmark time budget;
+//! results are printed in a criterion-like format.
+//!
+//! Supported command-line flags (anything else is ignored so that the cargo
+//! bench harness protocol keeps working):
+//!
+//! * `--test` — run every benchmark body exactly once without timing (the CI
+//!   smoke mode, mirroring `cargo bench -- --test`);
+//! * a positional `FILTER` — only run benchmarks whose id contains the string.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many wall-clock seconds one benchmark may spend collecting samples
+/// after warm-up.
+const SAMPLE_TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display` (e.g. `BenchmarkId::new("ddr", cores)`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a bare function name.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`]; lets `bench_function` accept both
+/// string literals and explicit ids, like real criterion.
+pub trait IntoBenchmarkId {
+    /// Convert to the canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Throughput annotation for a group: turns per-iteration time into an
+/// elements/s or bytes/s rate in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark moves this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing statistics of one finished benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Sampled {
+    /// Mean seconds per iteration.
+    pub mean_secs: f64,
+    /// Fastest observed iteration, seconds.
+    pub min_secs: f64,
+    /// Number of measured iterations.
+    pub samples: usize,
+}
+
+/// The per-benchmark measurement driver handed to bench closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    result: Option<Sampled>,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`: one warm-up call, then up to `sample_size` timed calls
+    /// within the time budget. In `--test` mode `f` runs exactly once,
+    /// untimed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.config.test_mode {
+            black_box(f());
+            self.result = Some(Sampled {
+                mean_secs: 0.0,
+                min_secs: 0.0,
+                samples: 1,
+            });
+            return;
+        }
+        black_box(f()); // warm-up
+        let budget_start = Instant::now();
+        let mut times = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+            if budget_start.elapsed() > SAMPLE_TIME_BUDGET {
+                break;
+            }
+        }
+        let total: Duration = times.iter().sum();
+        let mean_secs = total.as_secs_f64() / times.len() as f64;
+        let min_secs = times
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(f64::INFINITY, f64::min);
+        self.result = Some(Sampled {
+            mean_secs,
+            min_secs,
+            samples: times.len(),
+        });
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Config {
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+fn format_rate(per_iter: f64, secs: f64, unit: &str) -> String {
+    if secs <= 0.0 {
+        return format!("inf {unit}/s");
+    }
+    let rate = per_iter / secs;
+    if rate >= 1e9 {
+        format!("{:.4} G{unit}/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.4} M{unit}/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.4} K{unit}/s", rate / 1e3)
+    } else {
+        format!("{rate:.4} {unit}/s")
+    }
+}
+
+fn run_one(
+    config: &Config,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher<'_>),
+) {
+    if !config.matches(id) {
+        return;
+    }
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(_) if config.test_mode => {
+            println!("{id}: test passed");
+        }
+        Some(s) => {
+            let thrpt = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: [{}]", format_rate(n as f64, s.mean_secs, "elem"))
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  thrpt: [{}]", format_rate(n as f64, s.mean_secs, "B"))
+                }
+                None => String::new(),
+            };
+            println!(
+                "{id:<50} time: [{} .. {}] ({} samples){thrpt}",
+                format_time(s.min_secs),
+                format_time(s.mean_secs),
+                s.samples,
+            );
+        }
+        None => println!("{id}: no measurement (closure never called iter)"),
+    }
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config {
+                sample_size: 20,
+                test_mode: false,
+                filter: None,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Apply command-line arguments (`--test`, positional filter). Called by
+    /// the [`criterion_group!`] expansion; harmless to call twice.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.config.test_mode = true,
+                // Flags the cargo bench protocol may pass; some carry a value.
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" | "--profile-time" | "--color" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.config.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_benchmark_id();
+        run_one(&self.config, &id.id, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    // Tie the group to the Criterion borrow like real criterion does.
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure over an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&self.config, &full, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&self.config, &full, self.throughput, &mut f);
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -177,7 +177,10 @@ mod tests {
         let mc = a.region(RegionKind::Heap(TierId::MCDRAM)).unwrap();
         assert!(!ddr.overlaps(&mc));
         assert_eq!(a.region_of(ddr.start), Some(RegionKind::Heap(TierId::DDR)));
-        assert_eq!(a.region_of(mc.start), Some(RegionKind::Heap(TierId::MCDRAM)));
+        assert_eq!(
+            a.region_of(mc.start),
+            Some(RegionKind::Heap(TierId::MCDRAM))
+        );
         assert_eq!(a.region_of(Address(0x10)), None);
     }
 
@@ -200,6 +203,8 @@ mod tests {
         )
         .unwrap();
         assert!(a.carve(RegionKind::Static, ByteSize::from_mib(2)).is_err());
-        assert!(a.carve(RegionKind::Heap(TierId::DDR), ByteSize::from_kib(4)).is_err());
+        assert!(a
+            .carve(RegionKind::Heap(TierId::DDR), ByteSize::from_kib(4))
+            .is_err());
     }
 }

@@ -5,7 +5,7 @@
 //! and tracks usage statistics. The goal is behavioural fidelity (addresses
 //! are stable, reuse happens, fragmentation exists) rather than raw speed.
 
-use hmsim_common::{Address, AddressRange, ByteSize, HmError, HmResult, HighWaterMark};
+use hmsim_common::{Address, AddressRange, ByteSize, HighWaterMark, HmError, HmResult};
 use std::collections::BTreeMap;
 
 /// Allocation granularity (16 bytes, glibc-like minimum alignment).
@@ -63,7 +63,9 @@ impl FreeListAllocator {
     pub fn alloc_aligned(&mut self, size: ByteSize, align: u64) -> HmResult<AddressRange> {
         let align = align.max(MIN_ALIGN);
         if !align.is_power_of_two() {
-            return Err(HmError::Config(format!("alignment {align} is not a power of two")));
+            return Err(HmError::Config(format!(
+                "alignment {align} is not a power of two"
+            )));
         }
         let need = Self::rounded(size);
         // First fit over free blocks that can satisfy size after aligning.
@@ -134,7 +136,9 @@ impl FreeListAllocator {
 
     /// The size recorded for a live allocation.
     pub fn size_of(&self, addr: Address) -> Option<ByteSize> {
-        self.live.get(&addr.value()).map(|l| ByteSize::from_bytes(*l))
+        self.live
+            .get(&addr.value())
+            .map(|l| ByteSize::from_bytes(*l))
     }
 
     /// Bytes currently allocated (after internal rounding).
@@ -245,7 +249,10 @@ mod tests {
         let r = a.alloc(ByteSize::from_kib(1)).unwrap();
         a.free(r.start).unwrap();
         assert!(matches!(a.free(r.start), Err(HmError::UnknownAddress(_))));
-        assert!(matches!(a.free(Address(0x42)), Err(HmError::UnknownAddress(_))));
+        assert!(matches!(
+            a.free(Address(0x42)),
+            Err(HmError::UnknownAddress(_))
+        ));
     }
 
     #[test]
@@ -255,7 +262,10 @@ mod tests {
         let _ = a.alloc(ByteSize::from_bytes(24)).unwrap();
         let r = a.alloc_aligned(ByteSize::from_kib(1), 4096).unwrap();
         assert_eq!(r.start.value() % 4096, 0);
-        assert!(a.alloc_aligned(ByteSize::from_kib(1), 100).is_err(), "non power of two");
+        assert!(
+            a.alloc_aligned(ByteSize::from_kib(1), 100).is_err(),
+            "non power of two"
+        );
     }
 
     #[test]

@@ -29,16 +29,10 @@ impl ProcessHeap {
     /// DDR arena and a memkind-like allocator over the MCDRAM arena (plus one
     /// generic allocator per any additional tier).
     pub fn new(machine: &MachineConfig) -> HmResult<ProcessHeap> {
-        let tiers: Vec<(TierId, ByteSize)> = machine
-            .tiers
-            .iter()
-            .map(|t| (t.id, t.capacity))
-            .collect();
-        let address_space = AddressSpace::new(
-            ByteSize::from_gib(2),
-            ByteSize::from_mib(512),
-            &tiers,
-        )?;
+        let tiers: Vec<(TierId, ByteSize)> =
+            machine.tiers.iter().map(|t| (t.id, t.capacity)).collect();
+        let address_space =
+            AddressSpace::new(ByteSize::from_gib(2), ByteSize::from_mib(512), &tiers)?;
         let mut allocators = Vec::new();
         for (tier, _) in &tiers {
             let arena = address_space
@@ -134,8 +128,7 @@ impl ProcessHeap {
         let alloc = self.allocator_mut(tier).expect("tier found above");
         let (size, cost) = alloc.free(addr)?;
         let (_, _) = self.registry.remove_by_start(addr, now)?;
-        self.page_table
-            .unmap_range(AddressRange::new(addr, size));
+        self.page_table.unmap_range(AddressRange::new(addr, size));
         Ok((size, cost))
     }
 
@@ -279,7 +272,10 @@ mod tests {
         assert_eq!(h.registry().get(id).unwrap().tier, TierId::MCDRAM);
         assert_eq!(h.page_table().tier_of(range.start), TierId::MCDRAM);
         assert_eq!(
-            h.registry().find_containing(range.start.offset(4096)).unwrap().id,
+            h.registry()
+                .find_containing(range.start.offset(4096))
+                .unwrap()
+                .id,
             id
         );
         assert_eq!(h.live_dynamic_bytes(), ByteSize::from_mib(8));
@@ -289,25 +285,51 @@ mod tests {
     fn free_unmaps_and_unregisters() {
         let mut h = heap();
         let (_, range, _) = h
-            .malloc(ByteSize::from_mib(4), TierId::MCDRAM, "buf", None, Nanos::ZERO)
+            .malloc(
+                ByteSize::from_mib(4),
+                TierId::MCDRAM,
+                "buf",
+                None,
+                Nanos::ZERO,
+            )
             .unwrap();
         let (size, _) = h.free(range.start, Nanos::from_millis(1.0)).unwrap();
         assert_eq!(size, ByteSize::from_mib(4));
         assert!(h.registry().find_containing(range.start).is_none());
-        assert_eq!(h.page_table().tier_of(range.start), TierId::DDR, "falls back to default");
-        assert!(h.free(range.start, Nanos::ZERO).is_err(), "double free rejected");
+        assert_eq!(
+            h.page_table().tier_of(range.start),
+            TierId::DDR,
+            "falls back to default"
+        );
+        assert!(
+            h.free(range.start, Nanos::ZERO).is_err(),
+            "double free rejected"
+        );
     }
 
     #[test]
     fn capacity_cap_forces_fallback_decisions() {
         let mut h = heap();
-        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(32)).unwrap();
-        assert!(h.fits(TierId::MCDRAM, ByteSize::from_mib(32)));
-        h.malloc(ByteSize::from_mib(30), TierId::MCDRAM, "a", None, Nanos::ZERO)
+        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(32))
             .unwrap();
+        assert!(h.fits(TierId::MCDRAM, ByteSize::from_mib(32)));
+        h.malloc(
+            ByteSize::from_mib(30),
+            TierId::MCDRAM,
+            "a",
+            None,
+            Nanos::ZERO,
+        )
+        .unwrap();
         assert!(!h.fits(TierId::MCDRAM, ByteSize::from_mib(8)));
         assert!(h
-            .malloc(ByteSize::from_mib(8), TierId::MCDRAM, "b", None, Nanos::ZERO)
+            .malloc(
+                ByteSize::from_mib(8),
+                TierId::MCDRAM,
+                "b",
+                None,
+                Nanos::ZERO
+            )
             .is_err());
         // DDR still accepts it.
         assert!(h
@@ -320,10 +342,20 @@ mod tests {
     fn static_and_stack_objects_are_not_promotable_but_can_be_placed() {
         let mut h = heap();
         let (sid, srange) = h
-            .define_static("common_block", ByteSize::from_mib(100), TierId::MCDRAM, Nanos::ZERO)
+            .define_static(
+                "common_block",
+                ByteSize::from_mib(100),
+                TierId::MCDRAM,
+                Nanos::ZERO,
+            )
             .unwrap();
         let (kid, krange) = h
-            .define_stack("omp_stacks", ByteSize::from_mib(16), TierId::DDR, Nanos::ZERO)
+            .define_stack(
+                "omp_stacks",
+                ByteSize::from_mib(16),
+                TierId::DDR,
+                Nanos::ZERO,
+            )
             .unwrap();
         assert!(!h.registry().get(sid).unwrap().promotable());
         assert!(!h.registry().get(kid).unwrap().promotable());
@@ -340,7 +372,11 @@ mod tests {
             .define_static("grid", ByteSize::from_mib(10), TierId::DDR, Nanos::ZERO)
             .unwrap();
         h.migrate_object(id, TierId::MCDRAM).unwrap();
-        assert_eq!(h.page_table().tier_of(range.start.offset(range.len.bytes() - 1)), TierId::MCDRAM);
+        assert_eq!(
+            h.page_table()
+                .tier_of(range.start.offset(range.len.bytes() - 1)),
+            TierId::MCDRAM
+        );
         assert!(h.migrate_object(ObjectId(999), TierId::DDR).is_err());
     }
 
@@ -370,6 +406,8 @@ mod tests {
     #[test]
     fn realloc_of_unknown_address_fails() {
         let mut h = heap();
-        assert!(h.realloc(Address(0xdead), ByteSize::from_kib(4), Nanos::ZERO).is_err());
+        assert!(h
+            .realloc(Address(0xdead), ByteSize::from_kib(4), Nanos::ZERO)
+            .is_err());
     }
 }

@@ -92,10 +92,9 @@ pub struct TierAllocStats {
 impl TierAllocStats {
     /// Average size of successful allocations.
     pub fn average_size(&self) -> ByteSize {
-        if self.allocations == 0 {
-            ByteSize::ZERO
-        } else {
-            ByteSize::from_bytes(self.total_requested / self.allocations)
+        match self.total_requested.checked_div(self.allocations) {
+            Some(avg) => ByteSize::from_bytes(avg),
+            None => ByteSize::ZERO,
         }
     }
 }

@@ -125,8 +125,9 @@ impl AccessStream {
         }
     }
 
-    /// Generate the next `n` accesses.
-    pub fn take(&mut self, n: usize) -> Vec<MemoryAccess> {
+    /// Generate and materialize the next `n` accesses. For allocation-free
+    /// consumption use the [`Iterator`] impl instead.
+    pub fn take_vec(&mut self, n: usize) -> Vec<MemoryAccess> {
         (0..n).map(|_| self.next_access()).collect()
     }
 
@@ -175,17 +176,46 @@ impl AccessStream {
     }
 }
 
+/// `AccessStream` is an (infinite) iterator, so it can drive
+/// [`TraceEngine::run_stream`](crate::engine::TraceEngine::run_stream)
+/// directly — `stream.take(n)` style slicing comes from the iterator
+/// adapters, with no materialized vector in between.
+impl Iterator for AccessStream {
+    type Item = MemoryAccess;
+
+    #[inline]
+    fn next(&mut self) -> Option<MemoryAccess> {
+        Some(self.next_access())
+    }
+}
+
+/// Streaming equivalent of [`sequential_sweep`]: one access per element over
+/// the range, generated lazily so paper-scale sweeps never materialize a
+/// vector. Feed it straight into
+/// [`TraceEngine::run_stream`](crate::engine::TraceEngine::run_stream).
+pub fn sequential_sweep_iter(
+    range: AddressRange,
+    element_size: u16,
+    kind: AccessKind,
+) -> impl Iterator<Item = MemoryAccess> {
+    let element_size = element_size.max(1);
+    let n = range.len.bytes() / u64::from(element_size);
+    (0..n).map(move |i| MemoryAccess {
+        address: range.start.offset(i * u64::from(element_size)),
+        size: element_size,
+        kind,
+    })
+}
+
 /// Convenience: generate a full sequential sweep over a range (one access per
-/// element), e.g. one STREAM kernel pass over an array.
-pub fn sequential_sweep(range: AddressRange, element_size: u16, kind: AccessKind) -> Vec<MemoryAccess> {
-    let n = (range.len.bytes() / u64::from(element_size.max(1))) as usize;
-    (0..n)
-        .map(|i| MemoryAccess {
-            address: range.start.offset(i as u64 * u64::from(element_size)),
-            size: element_size,
-            kind,
-        })
-        .collect()
+/// element), e.g. one STREAM kernel pass over an array. Materializes the
+/// stream; prefer [`sequential_sweep_iter`] for anything large.
+pub fn sequential_sweep(
+    range: AddressRange,
+    element_size: u16,
+    kind: AccessKind,
+) -> Vec<MemoryAccess> {
+    sequential_sweep_iter(range, element_size, kind).collect()
 }
 
 /// Convenience: build an address range starting at `start` covering `size`.
@@ -211,7 +241,7 @@ mod tests {
             0.0,
             DetRng::new(1),
         );
-        let acc = s.take(10);
+        let acc = s.take_vec(10);
         for (i, a) in acc.iter().enumerate() {
             assert_eq!(a.address.value(), 0x1000_0000 + 8 * i as u64);
             assert_eq!(a.kind, AccessKind::Load);
@@ -222,7 +252,7 @@ mod tests {
     fn sequential_stream_wraps_around() {
         let r = range(0, ByteSize::from_bytes(32));
         let mut s = AccessStream::new(r, AccessPattern::Sequential, 8, 0.0, DetRng::new(1));
-        let acc = s.take(10);
+        let acc = s.take_vec(10);
         assert!(acc.iter().all(|a| r.contains(a.address)));
     }
 
@@ -230,7 +260,7 @@ mod tests {
     fn random_stream_stays_in_range() {
         let r = test_range();
         let mut s = AccessStream::new(r, AccessPattern::Random, 8, 0.5, DetRng::new(2));
-        let acc = s.take(1000);
+        let acc = s.take_vec(1000);
         assert!(acc.iter().all(|a| r.contains(a.address)));
         let stores = acc.iter().filter(|a| a.kind == AccessKind::Store).count();
         assert!(stores > 300 && stores < 700, "store count {stores}");
@@ -246,7 +276,7 @@ mod tests {
             0.0,
             DetRng::new(3),
         );
-        let acc = s.take(2000);
+        let acc = s.take_vec(2000);
         let hot_end = r.start.value() + r.len.bytes() / 10;
         let in_hot = acc.iter().filter(|a| a.address.value() < hot_end).count();
         assert!(in_hot as f64 / 2000.0 > 0.7, "hot fraction {in_hot}");
@@ -261,7 +291,7 @@ mod tests {
             0.0,
             DetRng::new(4),
         );
-        let acc = s.take(3);
+        let acc = s.take_vec(3);
         assert_eq!(acc[1].address - acc[0].address, 256);
         assert_eq!(acc[2].address - acc[1].address, 256);
     }
@@ -275,6 +305,39 @@ mod tests {
         assert!(strided < rand);
         assert!(rand <= 1.0);
         assert!(seq > 0.0);
+    }
+
+    #[test]
+    fn stream_iterator_matches_next_access() {
+        let make = || {
+            AccessStream::new(
+                test_range(),
+                AccessPattern::HotSpot { hot_fraction: 0.2 },
+                8,
+                0.3,
+                DetRng::new(11),
+            )
+        };
+        let mut a = make();
+        let b = make();
+        let explicit: Vec<MemoryAccess> = (0..100).map(|_| a.next_access()).collect();
+        let iterated: Vec<MemoryAccess> = b.into_iter().take(100).collect();
+        assert_eq!(explicit, iterated);
+    }
+
+    #[test]
+    fn sweep_iter_is_lazy_and_equal_to_sweep() {
+        let r = range(0x4000, ByteSize::from_kib(4));
+        let materialized = sequential_sweep(r, 8, AccessKind::Load);
+        let streamed: Vec<MemoryAccess> = sequential_sweep_iter(r, 8, AccessKind::Load).collect();
+        assert_eq!(materialized, streamed);
+        // Lazy: taking 3 from a sweep over a huge range must be instant.
+        let huge = range(0, ByteSize::from_gib(64));
+        let first3: Vec<MemoryAccess> = sequential_sweep_iter(huge, 8, AccessKind::Store)
+            .take(3)
+            .collect();
+        assert_eq!(first3.len(), 3);
+        assert_eq!(first3[2].address.value(), 16);
     }
 
     #[test]

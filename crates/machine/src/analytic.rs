@@ -384,9 +384,8 @@ mod tests {
     #[test]
     fn cache_mode_sits_between_ddr_and_flat_mcdram_for_fitting_sets() {
         let flat = engine();
-        let cache = AnalyticEngine::new(
-            &MachineConfig::knl_7250().with_memory_mode(MemoryMode::Cache),
-        );
+        let cache =
+            AnalyticEngine::new(&MachineConfig::knl_7250().with_memory_mode(MemoryMode::Cache));
         let p = phase(60_000_000, 40_000_000, 0.1);
         let ws = ByteSize::from_gib(6);
 
@@ -394,15 +393,17 @@ mod tests {
         let mcdram = flat.cost_phase(&p, &Placement::all_in(TierId::MCDRAM), ws);
         let cached = cache.cost_phase(&p, &Placement::all_in(TierId::DDR), ws);
 
-        assert!(mcdram.time < cached.time, "flat MCDRAM should beat cache mode");
+        assert!(
+            mcdram.time < cached.time,
+            "flat MCDRAM should beat cache mode"
+        );
         assert!(cached.time < ddr.time, "cache mode should beat DDR");
     }
 
     #[test]
     fn cache_mode_degrades_for_oversized_working_sets() {
-        let cache = AnalyticEngine::new(
-            &MachineConfig::knl_7250().with_memory_mode(MemoryMode::Cache),
-        );
+        let cache =
+            AnalyticEngine::new(&MachineConfig::knl_7250().with_memory_mode(MemoryMode::Cache));
         let p = phase(60_000_000, 40_000_000, 0.3);
         let small = cache.cost_phase(&p, &Placement::all_in(TierId::DDR), ByteSize::from_gib(8));
         let big = cache.cost_phase(&p, &Placement::all_in(TierId::DDR), ByteSize::from_gib(64));
@@ -418,10 +419,20 @@ mod tests {
         let mut mc = Placement::all_in(TierId::DDR);
         mc.place(ObjectId(0), TierId::MCDRAM);
 
-        let s_gain = e.cost_phase(&streaming, &ddr, ByteSize::from_gib(4)).time.nanos()
-            / e.cost_phase(&streaming, &mc, ByteSize::from_gib(4)).time.nanos();
-        let i_gain = e.cost_phase(&irregular, &ddr, ByteSize::from_gib(4)).time.nanos()
-            / e.cost_phase(&irregular, &mc, ByteSize::from_gib(4)).time.nanos();
+        let s_gain = e
+            .cost_phase(&streaming, &ddr, ByteSize::from_gib(4))
+            .time
+            .nanos()
+            / e.cost_phase(&streaming, &mc, ByteSize::from_gib(4))
+                .time
+                .nanos();
+        let i_gain = e
+            .cost_phase(&irregular, &ddr, ByteSize::from_gib(4))
+            .time
+            .nanos()
+            / e.cost_phase(&irregular, &mc, ByteSize::from_gib(4))
+                .time
+                .nanos();
         assert!(
             s_gain > i_gain,
             "streaming gain {s_gain} should exceed irregular gain {i_gain}"

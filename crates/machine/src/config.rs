@@ -171,12 +171,20 @@ impl MachineConfig {
     /// Validate internal consistency.
     pub fn validate(&self) -> HmResult<()> {
         if self.cores == 0 {
-            return Err(HmError::Config("machine must have at least one core".into()));
+            return Err(HmError::Config(
+                "machine must have at least one core".into(),
+            ));
         }
         if self.tiers.is_empty() {
-            return Err(HmError::Config("machine must have at least one memory tier".into()));
+            return Err(HmError::Config(
+                "machine must have at least one memory tier".into(),
+            ));
         }
-        if !(self.ipc > 0.0) || !(self.frequency_hz > 0.0) {
+        if self.ipc <= 0.0
+            || self.frequency_hz <= 0.0
+            || self.ipc.is_nan()
+            || self.frequency_hz.is_nan()
+        {
             return Err(HmError::Config("ipc and frequency must be positive".into()));
         }
         if self.line_size == 0 || !self.line_size.is_power_of_two() {
@@ -271,6 +279,9 @@ mod tests {
     #[test]
     fn tiny_config_tiers_are_shrunk() {
         let m = MachineConfig::tiny_test();
-        assert_eq!(m.tiers.get(TierId::MCDRAM).unwrap().capacity, ByteSize::from_mib(64));
+        assert_eq!(
+            m.tiers.get(TierId::MCDRAM).unwrap().capacity,
+            ByteSize::from_mib(64)
+        );
     }
 }

@@ -43,7 +43,7 @@ pub use bandwidth::BandwidthModel;
 pub use cache::{CacheConfig, CacheStats, SetAssocCache};
 pub use config::{ClusterMode, MachineConfig, MemoryMode};
 pub use counters::PerfCounters;
-pub use engine::{EngineStats, TraceEngine};
+pub use engine::{EngineStats, ServiceLevel, TierTraffic, TraceEngine};
 pub use mcdram_cache::McdramCacheModel;
 pub use page_table::PageTable;
-pub use tier::{TierSet, TierSpec};
+pub use tier::{TierSet, TierSpec, MAX_TIERS};

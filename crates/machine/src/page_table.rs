@@ -4,17 +4,89 @@
 //! this structure records that decision and answers "where does this address
 //! live" for both engines. `hmem_advisor` packs objects into tiers at page
 //! granularity (paper §III step 3), so pages are also our unit here.
+//!
+//! # Representation
+//!
+//! Translation sits on the trace engine's LLC-miss path, so the naive
+//! `HashMap<Page, TierId>` (one SipHash per miss) was replaced by a two-level
+//! page index: the page number splits into a *chunk* (high bits) and a *slot*
+//! (low [`CHUNK_BITS`] bits). Chunks are dense `[u8; CHUNK_PAGES]` arrays —
+//! one byte per page, `0` meaning "fall back to the default tier" — reached
+//! through a chunk directory keyed by a multiply-shift hash (a few cycles,
+//! not SipHash). A lookup is therefore one cheap hash plus one array index;
+//! the engine layers a one-entry translation cache (a TLB analogue, keyed by
+//! [`PageTable::translation_key`]) on top so consecutive misses to the same
+//! page skip even that.
 
-use hmsim_common::{AddressRange, ByteSize, Page, TierId};
+use hmsim_common::{AddressRange, ByteSize, Page, TierId, PAGE_SIZE};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of pages per chunk.
+const CHUNK_BITS: u32 = 12;
+/// Pages per chunk (4096 pages = 16 MiB of address space, 4 KiB per chunk).
+const CHUNK_PAGES: usize = 1 << CHUNK_BITS;
+/// Mask extracting the in-chunk slot from a page number.
+const SLOT_MASK: u64 = (CHUNK_PAGES as u64) - 1;
+
+/// Monotonic source of per-instance identifiers, so engine-side translation
+/// caches can tell two page tables (or a table and its clone) apart.
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Trivial multiply-shift hasher for the chunk directory: chunk ids are
+/// already well-distributed page-number prefixes, so a full SipHash per
+/// translation would be pure overhead.
+#[derive(Default)]
+pub struct ChunkIdHasher(u64);
+
+impl Hasher for ChunkIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; fold bytes defensively anyway.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E3779B97F4A7C15);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i.wrapping_mul(0x9E3779B97F4A7C15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
+type ChunkMap = HashMap<u64, Box<[u8; CHUNK_PAGES]>, BuildHasherDefault<ChunkIdHasher>>;
 
 /// Maps pages to tiers, with a default tier for unmapped pages.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct PageTable {
     default_tier: TierId,
-    pages: HashMap<Page, TierId>,
+    chunks: ChunkMap,
     /// Bytes mapped per tier (page-granular accounting), indexed by tier id.
-    footprint: HashMap<TierId, u64>,
+    footprint: Vec<u64>,
+    mapped_pages: usize,
+    /// Unique instance id (fresh per construction and per clone).
+    table_id: u64,
+    /// Bumped on every mutation; see [`translation_key`](Self::translation_key).
+    epoch: u64,
+}
+
+impl Clone for PageTable {
+    fn clone(&self) -> Self {
+        PageTable {
+            default_tier: self.default_tier,
+            chunks: self.chunks.clone(),
+            footprint: self.footprint.clone(),
+            mapped_pages: self.mapped_pages,
+            // A clone can diverge from the original, so it gets its own
+            // identity: cached translations for the original must not apply.
+            table_id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: 0,
+        }
+    }
 }
 
 impl PageTable {
@@ -23,14 +95,38 @@ impl PageTable {
     pub fn new(default_tier: TierId) -> Self {
         PageTable {
             default_tier,
-            pages: HashMap::new(),
-            footprint: HashMap::new(),
+            chunks: ChunkMap::default(),
+            footprint: Vec::new(),
+            mapped_pages: 0,
+            table_id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: 0,
         }
     }
 
     /// The default tier for unmapped pages.
     pub fn default_tier(&self) -> TierId {
         self.default_tier
+    }
+
+    /// Identity + mutation counter of this table. A cached translation is
+    /// valid exactly as long as this key is unchanged.
+    pub fn translation_key(&self) -> (u64, u64) {
+        (self.table_id, self.epoch)
+    }
+
+    /// Encode a tier into a chunk slot (0 is reserved for "unmapped").
+    fn encode(tier: TierId) -> u8 {
+        let idx = tier.index();
+        assert!(idx < 255, "tier index {idx} exceeds page-index encoding");
+        (idx + 1) as u8
+    }
+
+    fn footprint_slot(&mut self, tier: TierId) -> &mut u64 {
+        let idx = tier.index();
+        if idx >= self.footprint.len() {
+            self.footprint.resize(idx + 1, 0);
+        }
+        &mut self.footprint[idx]
     }
 
     /// Map every page covered by `range` to `tier`.
@@ -42,42 +138,69 @@ impl PageTable {
 
     /// Map one page to a tier (re-mapping moves the footprint accounting).
     pub fn map_page(&mut self, page: Page, tier: TierId) {
-        let prev = self.pages.insert(page, tier);
-        let prev_tier = prev.unwrap_or(self.default_tier);
-        if prev_tier != tier {
-            *self.footprint.entry(prev_tier).or_insert(0) = self
-                .footprint
-                .get(&prev_tier)
-                .copied()
-                .unwrap_or(0)
-                .saturating_sub(hmsim_common::PAGE_SIZE);
-            *self.footprint.entry(tier).or_insert(0) += hmsim_common::PAGE_SIZE;
-        } else if prev.is_none() {
-            *self.footprint.entry(tier).or_insert(0) += hmsim_common::PAGE_SIZE;
+        self.epoch += 1;
+        let chunk = self
+            .chunks
+            .entry(page.0 >> CHUNK_BITS)
+            .or_insert_with(|| Box::new([0u8; CHUNK_PAGES]));
+        let slot = &mut chunk[(page.0 & SLOT_MASK) as usize];
+        let prev = *slot;
+        *slot = Self::encode(tier);
+        if prev == 0 {
+            // First explicit mapping of this page: it starts counting against
+            // its tier's footprint (even when that tier is the default one).
+            // Intentional fix over the seed accounting, which also
+            // saturating-subtracted a page from the *default* tier here —
+            // eroding any explicit default-tier footprint that page never
+            // contributed to.
+            self.mapped_pages += 1;
+            *self.footprint_slot(tier) += PAGE_SIZE;
+        } else {
+            let prev_tier = TierId(u32::from(prev) - 1);
+            if prev_tier != tier {
+                *self.footprint_slot(prev_tier) =
+                    self.footprint_slot(prev_tier).saturating_sub(PAGE_SIZE);
+                *self.footprint_slot(tier) += PAGE_SIZE;
+            }
         }
     }
 
     /// Remove the explicit mapping of every page in `range` (they fall back
     /// to the default tier).
     pub fn unmap_range(&mut self, range: AddressRange) {
+        self.epoch += 1;
         for page in range.pages() {
-            if let Some(tier) = self.pages.remove(&page) {
-                *self.footprint.entry(tier).or_insert(0) = self
-                    .footprint
-                    .get(&tier)
-                    .copied()
-                    .unwrap_or(0)
-                    .saturating_sub(hmsim_common::PAGE_SIZE);
+            let Some(chunk) = self.chunks.get_mut(&(page.0 >> CHUNK_BITS)) else {
+                continue;
+            };
+            let slot = &mut chunk[(page.0 & SLOT_MASK) as usize];
+            if *slot != 0 {
+                let tier = TierId(u32::from(*slot) - 1);
+                *slot = 0;
+                self.mapped_pages -= 1;
+                *self.footprint_slot(tier) = self.footprint_slot(tier).saturating_sub(PAGE_SIZE);
             }
         }
     }
 
     /// The tier a page currently lives in.
+    #[inline]
     pub fn tier_of_page(&self, page: Page) -> TierId {
-        self.pages.get(&page).copied().unwrap_or(self.default_tier)
+        match self.chunks.get(&(page.0 >> CHUNK_BITS)) {
+            Some(chunk) => {
+                let slot = chunk[(page.0 & SLOT_MASK) as usize];
+                if slot == 0 {
+                    self.default_tier
+                } else {
+                    TierId(u32::from(slot) - 1)
+                }
+            }
+            None => self.default_tier,
+        }
     }
 
     /// The tier the page containing `addr` lives in.
+    #[inline]
     pub fn tier_of(&self, addr: hmsim_common::Address) -> TierId {
         self.tier_of_page(addr.page())
     }
@@ -85,12 +208,12 @@ impl PageTable {
     /// Bytes explicitly mapped to `tier` (page-granular; excludes the default
     /// tier's implicit coverage).
     pub fn mapped_bytes(&self, tier: TierId) -> ByteSize {
-        ByteSize::from_bytes(self.footprint.get(&tier).copied().unwrap_or(0))
+        ByteSize::from_bytes(self.footprint.get(tier.index()).copied().unwrap_or(0))
     }
 
     /// Number of explicitly mapped pages.
     pub fn mapped_pages(&self) -> usize {
-        self.pages.len()
+        self.mapped_pages
     }
 }
 
@@ -122,9 +245,18 @@ mod tests {
         let mut pt = PageTable::new(TierId::DDR);
         let range = AddressRange::new(Address(0), ByteSize::from_bytes(PAGE_SIZE * 3));
         pt.map_range(range, TierId::MCDRAM);
-        assert_eq!(pt.mapped_bytes(TierId::MCDRAM), ByteSize::from_bytes(PAGE_SIZE * 3));
-        pt.unmap_range(AddressRange::new(Address(0), ByteSize::from_bytes(PAGE_SIZE)));
-        assert_eq!(pt.mapped_bytes(TierId::MCDRAM), ByteSize::from_bytes(PAGE_SIZE * 2));
+        assert_eq!(
+            pt.mapped_bytes(TierId::MCDRAM),
+            ByteSize::from_bytes(PAGE_SIZE * 3)
+        );
+        pt.unmap_range(AddressRange::new(
+            Address(0),
+            ByteSize::from_bytes(PAGE_SIZE),
+        ));
+        assert_eq!(
+            pt.mapped_bytes(TierId::MCDRAM),
+            ByteSize::from_bytes(PAGE_SIZE * 2)
+        );
         assert_eq!(pt.mapped_pages(), 2);
     }
 
@@ -138,5 +270,42 @@ mod tests {
         // Re-mapping to the same tier is a no-op for accounting.
         pt.map_page(Page(7), TierId::MCDRAM);
         assert_eq!(pt.mapped_bytes(TierId::MCDRAM).bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn pages_straddling_chunk_boundaries_translate_correctly() {
+        let mut pt = PageTable::new(TierId::DDR);
+        // Map a range crossing the 4096-page chunk boundary.
+        let boundary_page = CHUNK_PAGES as u64;
+        pt.map_page(Page(boundary_page - 1), TierId::MCDRAM);
+        pt.map_page(Page(boundary_page), TierId(2));
+        assert_eq!(pt.tier_of_page(Page(boundary_page - 1)), TierId::MCDRAM);
+        assert_eq!(pt.tier_of_page(Page(boundary_page)), TierId(2));
+        assert_eq!(pt.tier_of_page(Page(boundary_page + 1)), TierId::DDR);
+        assert_eq!(pt.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn translation_key_changes_on_mutation_and_differs_per_clone() {
+        let mut pt = PageTable::new(TierId::DDR);
+        let k0 = pt.translation_key();
+        pt.map_page(Page(1), TierId::MCDRAM);
+        let k1 = pt.translation_key();
+        assert_ne!(k0, k1);
+
+        let clone = pt.clone();
+        assert_ne!(clone.translation_key().0, pt.translation_key().0);
+        // Clone still answers identically.
+        assert_eq!(clone.tier_of_page(Page(1)), TierId::MCDRAM);
+        assert_eq!(clone.mapped_pages(), 1);
+        assert_eq!(clone.mapped_bytes(TierId::MCDRAM).bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn unmap_of_untouched_chunks_is_a_noop() {
+        let mut pt = PageTable::new(TierId::DDR);
+        pt.unmap_range(AddressRange::new(Address(0), ByteSize::from_mib(64)));
+        assert_eq!(pt.mapped_pages(), 0);
+        assert_eq!(pt.mapped_bytes(TierId::DDR).bytes(), 0);
     }
 }

@@ -7,6 +7,11 @@
 
 use hmsim_common::{ByteSize, HmError, HmResult, Nanos, TierId};
 
+/// Upper bound on tier ids the fixed-size hot-path structures (per-tier
+/// traffic array, per-tier latency cache) are sized for. DDR = 0, MCDRAM = 1,
+/// NVM = 2 plus one spare; raising it only costs a few bytes per engine.
+pub const MAX_TIERS: usize = 4;
+
 /// Static description of one memory tier.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TierSpec {

@@ -124,8 +124,7 @@ impl PebsSampler {
         for i in 0..fires {
             // Spread sample timestamps across the interval in event order,
             // with a little jitter.
-            let frac =
-                (i as f64 + self.rng.uniform() * 0.8 + 0.1) / (fires as f64).max(1.0);
+            let frac = (i as f64 + self.rng.uniform() * 0.8 + 0.1) / (fires as f64).max(1.0);
             let time = start + duration * frac.clamp(0.0, 1.0);
             let address = address_of(&mut self.rng);
             out.push(RawSample {
@@ -192,11 +191,17 @@ mod tests {
             37_589 * 25 + 12,
             |rng| Address(rng.uniform_range(0x1000, 0x2000)),
         );
-        assert!(samples.len() == 25 || samples.len() == 26, "got {}", samples.len());
+        assert!(
+            samples.len() == 25 || samples.len() == 26,
+            "got {}",
+            samples.len()
+        );
         assert!(samples.iter().all(|smp| smp.weight == 37_589));
         // Timestamps fall inside the interval and are ordered.
         assert!(samples.windows(2).all(|w| w[0].time <= w[1].time));
-        assert!(samples.iter().all(|smp| smp.time >= Nanos::ZERO && smp.time <= Nanos::from_secs(1.0)));
+        assert!(samples
+            .iter()
+            .all(|smp| smp.time >= Nanos::ZERO && smp.time <= Nanos::from_secs(1.0)));
     }
 
     #[test]
@@ -239,7 +244,9 @@ mod tests {
     #[test]
     fn empty_bulk_is_a_noop() {
         let mut s = sampler(10);
-        assert!(s.observe_bulk(Nanos::ZERO, Nanos(1.0), 0, |_| Address(0)).is_empty());
+        assert!(s
+            .observe_bulk(Nanos::ZERO, Nanos(1.0), 0, |_| Address(0))
+            .is_empty());
         assert_eq!(s.total_events(), 0);
     }
 }

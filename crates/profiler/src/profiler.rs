@@ -4,7 +4,7 @@ use crate::config::ProfilerConfig;
 use crate::overhead::OverheadModel;
 use hmsim_common::{Address, DetRng, Nanos, ObjectId};
 use hmsim_heap::{DataObject, ObjectKind};
-use hmsim_pebs::{PebsSampler, ProcessorFamily, PebsEvent};
+use hmsim_pebs::{PebsEvent, PebsSampler, ProcessorFamily};
 use hmsim_trace::{
     AllocationRecord, CounterSnapshot, ObjectClass, SampleRecord, TraceEvent, TraceFile,
     TraceMetadata,
@@ -168,11 +168,9 @@ impl Profiler {
     /// noise); sampled addresses are drawn from the given address.
     pub fn record_untracked_misses(&mut self, start: Nanos, duration: Nanos, misses: u64) {
         let base = 0x7ffd_0000_0000u64 + self.rng.uniform_range(0, 1 << 20);
-        let samples = self
-            .sampler
-            .observe_bulk(start, duration, misses, |rng| {
-                Address(base + rng.uniform_range(0, 1 << 16))
-            });
+        let samples = self.sampler.observe_bulk(start, duration, misses, |rng| {
+            Address(base + rng.uniform_range(0, 1 << 16))
+        });
         for s in samples {
             self.trace.push(TraceEvent::Sample(SampleRecord {
                 time: s.time,
@@ -259,7 +257,10 @@ mod tests {
         let small_static = object(2, 0x3000, ByteSize::from_bytes(512), ObjectKind::Static);
         assert!(!p.record_alloc(&small, Nanos::ZERO));
         assert!(p.record_alloc(&big, Nanos::ZERO));
-        assert!(p.record_alloc(&small_static, Nanos::ZERO), "statics bypass the filter");
+        assert!(
+            p.record_alloc(&small_static, Nanos::ZERO),
+            "statics bypass the filter"
+        );
         assert_eq!(p.alloc_events(), 2);
     }
 
@@ -281,7 +282,11 @@ mod tests {
         for e in trace.events() {
             if let TraceEvent::Sample(s) = e {
                 *per_object.entry(s.object).or_insert(0u64) += 1;
-                let obj = if s.object == Some(ObjectId(0)) { &a } else { &b };
+                let obj = if s.object == Some(ObjectId(0)) {
+                    &a
+                } else {
+                    &b
+                };
                 assert!(obj.range.contains(s.address), "sample outside object range");
             }
         }
@@ -327,8 +332,14 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, TraceEvent::Counters(_)))
             .count();
-        assert!(snapshots >= 3, "expected several snapshots, got {snapshots}");
-        assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::PhaseBegin { .. })));
+        assert!(
+            snapshots >= 3,
+            "expected several snapshots, got {snapshots}"
+        );
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::PhaseBegin { .. })));
         // Events are time sorted after finish().
         assert!(trace
             .events()

@@ -145,7 +145,11 @@ mod tests {
 
     #[test]
     fn object_class_codes_round_trip() {
-        for c in [ObjectClass::Static, ObjectClass::Dynamic, ObjectClass::Stack] {
+        for c in [
+            ObjectClass::Static,
+            ObjectClass::Dynamic,
+            ObjectClass::Stack,
+        ] {
             assert_eq!(ObjectClass::from_code(c.code()), Some(c));
         }
         assert_eq!(ObjectClass::from_code("X"), None);

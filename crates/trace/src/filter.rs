@@ -150,7 +150,9 @@ mod tests {
             .samples_only()
             .apply(&t);
         assert_eq!(selected.len(), 4);
-        assert!(selected.iter().all(|e| e.time() >= Nanos(200.0) && e.time() < Nanos(600.0)));
+        assert!(selected
+            .iter()
+            .all(|e| e.time() >= Nanos(200.0) && e.time() < Nanos(600.0)));
     }
 
     #[test]
@@ -164,7 +166,10 @@ mod tests {
     #[test]
     fn phase_filter_excludes_outside_events() {
         let t = trace();
-        let inside = EventFilter::all().within_phase("outer").samples_only().apply(&t);
+        let inside = EventFilter::all()
+            .within_phase("outer")
+            .samples_only()
+            .apply(&t);
         assert_eq!(inside.len(), 10, "sample at t=2500 is outside the phase");
         let none = EventFilter::all().within_phase("does_not_exist").apply(&t);
         assert!(none.is_empty());

@@ -106,7 +106,9 @@ pub fn write_text(trace: &TraceFile) -> String {
                     "S:{}:{}:{}:{}:{}",
                     s.time.nanos(),
                     s.address.value(),
-                    s.object.map(|o| o.index().to_string()).unwrap_or_else(|| "-".to_string()),
+                    s.object
+                        .map(|o| o.index().to_string())
+                        .unwrap_or_else(|| "-".to_string()),
                     s.weight,
                     s.latency_cycles
                         .map(|l| l.to_string())
@@ -291,7 +293,9 @@ mod tests {
             object: ObjectId(7),
             class: ObjectClass::Dynamic,
             name: "matrix values".to_string(),
-            site: Some(SiteKey::from_text("libc.so.6!malloc+0x1d|app!alloc_matrix+0x40")),
+            site: Some(SiteKey::from_text(
+                "libc.so.6!malloc+0x1d|app!alloc_matrix+0x40",
+            )),
             address: Address(0x7f10_0000_0000),
             size: ByteSize::from_mib(128),
         }));
@@ -335,7 +339,9 @@ mod tests {
         let original = sample_trace();
         let text = write_text(&original);
         // The phase name with a colon must not add extra fields.
-        assert!(text.lines().any(|l| l.starts_with("B:") && l.matches(':').count() == 2));
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("B:") && l.matches(':').count() == 2));
     }
 
     #[test]

@@ -15,7 +15,9 @@ use hmem_repro::core::simrun::{AppRun, RunConfig};
 use hmem_repro::profiler::ProfilerConfig;
 
 fn main() {
-    let app_name = std::env::args().nth(1).unwrap_or_else(|| "SNAP".to_string());
+    let app_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "SNAP".to_string());
     let spec = app_by_name(&app_name).expect("known application");
 
     // Profile once (DDR run with Extrae attached).
@@ -29,8 +31,16 @@ fn main() {
     .expect("profiling run succeeds");
     let report = analyze_trace(run.trace.as_ref().unwrap());
 
-    println!("Profile of {}: {} objects, {} sampled LLC misses\n", spec.name, report.objects.len(), report.total_misses);
-    println!("{:<28} {:>10} {:>12} {:>8}", "object", "size", "misses", "kind");
+    println!(
+        "Profile of {}: {} objects, {} sampled LLC misses\n",
+        spec.name,
+        report.objects.len(),
+        report.total_misses
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>8}",
+        "object", "size", "misses", "kind"
+    );
     for o in &report.objects {
         println!(
             "{:<28} {:>10} {:>12} {:>8}",
@@ -42,9 +52,15 @@ fn main() {
     }
 
     let strategies = [
-        SelectionStrategy::Misses { threshold_percent: 0.0 },
-        SelectionStrategy::Misses { threshold_percent: 1.0 },
-        SelectionStrategy::Misses { threshold_percent: 5.0 },
+        SelectionStrategy::Misses {
+            threshold_percent: 0.0,
+        },
+        SelectionStrategy::Misses {
+            threshold_percent: 1.0,
+        },
+        SelectionStrategy::Misses {
+            threshold_percent: 5.0,
+        },
         SelectionStrategy::Density,
         SelectionStrategy::ExactKnapsack,
     ];
@@ -62,7 +78,9 @@ fn main() {
                     println!(
                         "  {:<14} uses {:>7.1} MiB, covers {:>5.1}% of misses: {}",
                         strategy.label(),
-                        placement.selected_bytes(hmem_repro::common::TierId::MCDRAM).mib(),
+                        placement
+                            .selected_bytes(hmem_repro::common::TierId::MCDRAM)
+                            .mib(),
                         100.0 * covered as f64 / report.total_misses.max(1) as f64,
                         selected.join(", ")
                     );

@@ -65,7 +65,10 @@ fn main() {
         Ok(data) => {
             println!("kernel MIPS (framework / numactl):");
             for (name, fw, nu) in &data.kernel_mips {
-                println!("  {name:<18} {fw:>10.1}  /  {nu:>10.1}   (ratio {:.2})", fw / nu);
+                println!(
+                    "  {name:<18} {fw:>10.1}  /  {nu:>10.1}   (ratio {:.2})",
+                    fw / nu
+                );
             }
             println!("\nfolded MIPS profile (framework):");
             for (pos, mips) in data.framework.mips_series() {

@@ -26,15 +26,24 @@ fn main() {
         std::process::exit(1);
     });
 
-    println!("Application      : {} ({} ranks x {} threads, {})", spec.name, spec.ranks, spec.threads_per_rank, spec.problem_size);
+    println!(
+        "Application      : {} ({} ranks x {} threads, {})",
+        spec.name, spec.ranks, spec.threads_per_rank, spec.problem_size
+    );
     println!("MCDRAM budget    : {budget} per rank");
-    println!("Footprint        : {:.0} MiB per rank\n", spec.footprint().mib());
+    println!(
+        "Footprint        : {:.0} MiB per rank\n",
+        spec.footprint().mib()
+    );
 
     // Reference run: everything in DDR.
     let ddr = AppRun::new(&spec, RunConfig::flat(budget).with_iterations(10))
         .execute(RouterFactory::ddr())
         .expect("DDR run succeeds");
-    println!("[reference] DDR-only FOM          : {:.2} {}", ddr.fom, spec.fom_name);
+    println!(
+        "[reference] DDR-only FOM          : {:.2} {}",
+        ddr.fom, spec.fom_name
+    );
 
     // The framework: profile, analyse, advise, re-run.
     let pipeline = FrameworkPipeline::new(
@@ -50,21 +59,39 @@ fn main() {
         outcome.trace_summary.allocations,
         outcome.trace_summary.samples,
         outcome.profiling_overhead * 100.0);
-    println!("[stage 2] objects analysed        : {} ({} total sampled misses)",
+    println!(
+        "[stage 2] objects analysed        : {} ({} total sampled misses)",
         outcome.object_report.objects.len(),
-        outcome.object_report.total_misses);
+        outcome.object_report.total_misses
+    );
     println!("[stage 3] advisor selection       :");
     for entry in outcome.placement.automatic_entries() {
-        println!("            -> {} ({}, {} misses) to {}",
-            entry.name, entry.size, entry.llc_misses, entry.tier_name);
+        println!(
+            "            -> {} ({}, {} misses) to {}",
+            entry.name, entry.size, entry.llc_misses, entry.tier_name
+        );
     }
     for entry in outcome.placement.manual_entries() {
-        println!("            (manual suggestion: {} is {} and cannot be promoted automatically)",
-            entry.name, entry.size);
+        println!(
+            "            (manual suggestion: {} is {} and cannot be promoted automatically)",
+            entry.name, entry.size
+        );
     }
     println!("[stage 4] re-run with auto-hbwmalloc:");
-    println!("            FOM                   : {:.2} {}", outcome.result.fom, spec.fom_name);
-    println!("            speedup vs DDR        : {:.2}x", outcome.result.fom / ddr.fom);
-    println!("            MCDRAM HWM            : {:.1} MiB", outcome.result.mcdram_hwm.mib());
-    println!("            interposition overhead: {}", outcome.result.allocator_time);
+    println!(
+        "            FOM                   : {:.2} {}",
+        outcome.result.fom, spec.fom_name
+    );
+    println!(
+        "            speedup vs DDR        : {:.2}x",
+        outcome.result.fom / ddr.fom
+    );
+    println!(
+        "            MCDRAM HWM            : {:.1} MiB",
+        outcome.result.mcdram_hwm.mib()
+    );
+    println!(
+        "            interposition overhead: {}",
+        outcome.result.allocator_time
+    );
 }

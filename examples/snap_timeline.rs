@@ -12,16 +12,24 @@ use hmem_repro::core::figures;
 fn main() {
     let data = figures::figure5(8, 20).expect("figure 5 generation succeeds");
 
-    println!("SNAP folded iteration ({} instances averaged, mean duration {})\n",
-        data.framework.instances, data.framework.mean_duration);
+    println!(
+        "SNAP folded iteration ({} instances averaged, mean duration {})\n",
+        data.framework.instances, data.framework.mean_duration
+    );
 
-    println!("{:<20} {:>18} {:>18} {:>8}", "kernel", "framework MIPS", "numactl MIPS", "ratio");
+    println!(
+        "{:<20} {:>18} {:>18} {:>8}",
+        "kernel", "framework MIPS", "numactl MIPS", "ratio"
+    );
     for (name, fw, nu) in &data.kernel_mips {
         println!("{name:<20} {fw:>18.1} {nu:>18.1} {:>8.2}", fw / nu);
     }
 
     println!("\nFolded MIPS over one iteration (normalised time):");
-    println!("{:>6} {:>14} {:>14}   dominant routine (framework)", "t", "framework", "numactl");
+    println!(
+        "{:>6} {:>14} {:>14}   dominant routine (framework)",
+        "t", "framework", "numactl"
+    );
     for (fw_bin, nu_bin) in data.framework.bins.iter().zip(data.numactl.bins.iter()) {
         println!(
             "{:>6.2} {:>14.1} {:>14.1}   {}",

@@ -12,13 +12,26 @@ fn main() {
     let machine = MachineConfig::knl_7250();
     let stream = StreamBenchmark::default();
 
-    println!("STREAM Triad on the simulated Xeon Phi 7250 ({} cores @ {:.2} GHz)",
-        machine.cores, machine.frequency_hz / 1e9);
-    println!("working set: {} ({} per array)\n", stream.working_set(), stream.array_size);
-    println!("{:>6}  {:>10}  {:>14}  {:>15}", "cores", "DDR GB/s", "MCDRAM/Flat", "MCDRAM/Cache");
+    println!(
+        "STREAM Triad on the simulated Xeon Phi 7250 ({} cores @ {:.2} GHz)",
+        machine.cores,
+        machine.frequency_hz / 1e9
+    );
+    println!(
+        "working set: {} ({} per array)\n",
+        stream.working_set(),
+        stream.array_size
+    );
+    println!(
+        "{:>6}  {:>10}  {:>14}  {:>15}",
+        "cores", "DDR GB/s", "MCDRAM/Flat", "MCDRAM/Cache"
+    );
     for (cores, ddr, flat, cache) in stream.figure1(&machine) {
         let bar = |v: f64| "#".repeat((v / 12.0).round() as usize);
-        println!("{cores:>6}  {ddr:>10.1}  {flat:>14.1}  {cache:>15.1}   |{}", bar(flat));
+        println!(
+            "{cores:>6}  {ddr:>10.1}  {flat:>14.1}  {cache:>15.1}   |{}",
+            bar(flat)
+        );
     }
 
     let last = stream.figure1(&machine).last().copied().unwrap();

@@ -13,8 +13,8 @@
 //! The runs use a reduced iteration count; the figures of merit are
 //! iteration-rate based, so the orderings are unchanged.
 
-use hmem_core::experiment::{run_app_experiment, AppExperiment, ExperimentConfig};
 use hmem_advisor::SelectionStrategy;
+use hmem_core::experiment::{run_app_experiment, AppExperiment, ExperimentConfig};
 use hmsim_apps::app_by_name;
 use hmsim_common::ByteSize;
 
@@ -61,9 +61,16 @@ fn framework_wins_hpcg_and_beats_every_hardware_and_software_baseline() {
     assert!(winner.is_framework, "HPCG winner was {}", winner.label);
     // The paper reports +78.9% over DDR; the reproduction must show a
     // substantial (>40%) improvement and beat cache mode clearly.
-    assert!(exp.framework_speedup() > 1.4, "speedup {}", exp.framework_speedup());
+    assert!(
+        exp.framework_speedup() > 1.4,
+        "speedup {}",
+        exp.framework_speedup()
+    );
     assert!(exp.framework_speedup() > speedup(&exp, "Cache") * 1.1);
-    assert!(speedup(&exp, "Cache") > 1.15, "cache mode must still help HPCG");
+    assert!(
+        speedup(&exp, "Cache") > 1.15,
+        "cache mode must still help HPCG"
+    );
 }
 
 #[test]
@@ -75,7 +82,11 @@ fn framework_wins_minife_with_a_small_hot_set() {
     // The hot set fits from 128 MiB on: the best framework configuration must
     // not need more than ~150 MiB of MCDRAM.
     let best = exp.best_framework().unwrap();
-    assert!(best.mcdram_hwm <= ByteSize::from_mib(150), "HWM {}", best.mcdram_hwm);
+    assert!(
+        best.mcdram_hwm <= ByteSize::from_mib(150),
+        "HWM {}",
+        best.mcdram_hwm
+    );
 }
 
 #[test]
@@ -112,9 +123,16 @@ fn cache_mode_wins_lulesh_and_autohbw_is_the_worst_mcdram_approach() {
 fn cache_mode_wins_maxw_dgtd() {
     let exp = run("MAXW-DGTD");
     let winner = exp.winner().unwrap();
-    assert_eq!(winner.label, "Cache", "MAXW-DGTD winner was {}", winner.label);
+    assert_eq!(
+        winner.label, "Cache",
+        "MAXW-DGTD winner was {}",
+        winner.label
+    );
     assert!(speedup(&exp, "Cache") >= exp.framework_speedup());
-    assert!(exp.framework_speedup() > 1.2, "the framework still helps MAXW-DGTD");
+    assert!(
+        exp.framework_speedup() > 1.2,
+        "the framework still helps MAXW-DGTD"
+    );
 }
 
 #[test]
@@ -127,18 +145,36 @@ fn numactl_stays_ahead_for_bt_cgpop_and_snap() {
         // "numactl -p 1 outperforms marginally the cache and framework
         // approaches on BT, CGPOP and SNAP" — allow a 1% tolerance for the
         // near-ties the paper itself calls marginal.
-        assert!(numactl >= framework * 0.99, "{app}: numactl {numactl} vs framework {framework}");
-        assert!(numactl >= cache * 0.99, "{app}: numactl {numactl} vs cache {cache}");
+        assert!(
+            numactl >= framework * 0.99,
+            "{app}: numactl {numactl} vs framework {framework}"
+        );
+        assert!(
+            numactl >= cache * 0.99,
+            "{app}: numactl {numactl} vs cache {cache}"
+        );
         assert!(numactl > 1.2, "{app}: MCDRAM must clearly help ({numactl})");
     }
 }
 
 #[test]
 fn autohbw_never_wins_anywhere() {
-    for app in ["HPCG", "Lulesh", "BT", "miniFE", "CGPOP", "SNAP", "MAXW-DGTD", "GTC-P"] {
+    for app in [
+        "HPCG",
+        "Lulesh",
+        "BT",
+        "miniFE",
+        "CGPOP",
+        "SNAP",
+        "MAXW-DGTD",
+        "GTC-P",
+    ] {
         let exp = run(app);
         let winner = exp.winner().unwrap();
-        assert_ne!(winner.label, "autohbw/1m", "{app}: autohbw must never be the best approach");
+        assert_ne!(
+            winner.label, "autohbw/1m",
+            "{app}: autohbw must never be the best approach"
+        );
     }
 }
 
@@ -156,7 +192,10 @@ fn budgets_help_hpcg_but_cgpop_saturates_at_32_mib() {
             .map(|r| r.fom)
             .fold(0.0, f64::max)
     };
-    assert!(fom_at(256.0) > fom_at(64.0), "HPCG must benefit from more MCDRAM");
+    assert!(
+        fom_at(256.0) > fom_at(64.0),
+        "HPCG must benefit from more MCDRAM"
+    );
     assert!(fom_at(256.0) > fom_at(32.0) * 1.2);
 
     let cgpop = run("CGPOP");
