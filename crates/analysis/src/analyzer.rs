@@ -1,10 +1,17 @@
 //! Trace analysis: attribute samples to objects and aggregate per-site
 //! statistics.
+//!
+//! The analysis is stream-native: [`ObjectStatsBuilder`] consumes one event
+//! at a time in a single forward pass, so it can run over an in-memory
+//! [`TraceFile`], a [`TraceReader`](hmsim_trace::TraceReader) streaming an
+//! on-disk binary trace, or a merged multi-rank stream, all with identical
+//! results. [`analyze_trace`] and [`analyze_stream`] are thin wrappers.
 
 use crate::object_stats::{ObjectReport, ObjectStats, ReportedKind};
 use hmsim_callstack::SiteKey;
-use hmsim_common::{Address, AddressRange, ByteSize, ObjectId};
+use hmsim_common::{Address, AddressRange, ByteSize, HmResult, ObjectId};
 use hmsim_trace::{ObjectClass, TraceEvent, TraceFile};
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 #[derive(Clone)]
@@ -33,23 +40,42 @@ struct Group {
     allocation_count: u64,
 }
 
-/// Analyse a trace into a per-object report.
+/// Streaming per-object aggregation: push events one at a time, then
+/// [`finish`](Self::finish) into an [`ObjectReport`].
 ///
 /// Sample attribution prefers the object id recorded by the profiler; samples
 /// lacking one are matched against the address ranges of objects live at the
 /// sample's timestamp (which is how the real Extrae/Paramedir pipeline works,
 /// since PEBS only reports an address).
-pub fn analyze_trace(trace: &TraceFile) -> ObjectReport {
-    let mut groups: HashMap<GroupKey, Group> = HashMap::new();
-    let mut by_id: HashMap<ObjectId, LiveObject> = HashMap::new();
+pub struct ObjectStatsBuilder {
+    application: String,
+    groups: HashMap<GroupKey, Group>,
+    by_id: HashMap<ObjectId, LiveObject>,
     // Live address index (linear scan on fallback attribution is fine at the
     // trace sizes the paper reports: tens of thousands of samples).
-    let mut live: Vec<(AddressRange, GroupKey)> = Vec::new();
+    live: Vec<(AddressRange, GroupKey)>,
+    total_misses: u64,
+    unattributed: u64,
+    events_seen: u64,
+}
 
-    let mut total_misses = 0u64;
-    let mut unattributed = 0u64;
+impl ObjectStatsBuilder {
+    /// Start a report for the named application.
+    pub fn new(application: impl Into<String>) -> Self {
+        ObjectStatsBuilder {
+            application: application.into(),
+            groups: HashMap::new(),
+            by_id: HashMap::new(),
+            live: Vec::new(),
+            total_misses: 0,
+            unattributed: 0,
+            events_seen: 0,
+        }
+    }
 
-    for event in trace.events() {
+    /// Consume one event.
+    pub fn push(&mut self, event: &TraceEvent) {
+        self.events_seen += 1;
         match event {
             TraceEvent::Alloc(a) => {
                 let (key, kind) = match (a.class, &a.site) {
@@ -67,7 +93,7 @@ pub fn analyze_trace(trace: &TraceFile) -> ObjectReport {
                     }
                 };
                 let range = AddressRange::new(a.address, a.size);
-                let group = groups.entry(key.clone()).or_insert_with(|| Group {
+                let group = self.groups.entry(key.clone()).or_insert_with(|| Group {
                     name: a.name.clone(),
                     site: a.site.clone(),
                     kind,
@@ -80,66 +106,110 @@ pub fn analyze_trace(trace: &TraceFile) -> ObjectReport {
                 group.allocation_count += 1;
                 group.max_size = group.max_size.max(a.size);
                 group.min_size = group.min_size.min(a.size);
-                by_id.insert(
+                self.by_id.insert(
                     a.object,
                     LiveObject {
                         key: key.clone(),
                         range,
                     },
                 );
-                live.push((range, key));
+                self.live.push((range, key));
             }
             TraceEvent::Free { object, .. } => {
-                if let Some(obj) = by_id.remove(object) {
-                    live.retain(|(range, _)| *range != obj.range);
+                if let Some(obj) = self.by_id.remove(object) {
+                    self.live.retain(|(range, _)| *range != obj.range);
                 }
             }
             TraceEvent::Sample(s) => {
-                total_misses += s.weight;
-                let key = match s.object.and_then(|id| by_id.get(&id)) {
+                self.total_misses += s.weight;
+                let key = match s.object.and_then(|id| self.by_id.get(&id)) {
                     Some(obj) => Some(obj.key.clone()),
-                    None => lookup_by_address(&live, s.address),
+                    None => lookup_by_address(&self.live, s.address),
                 };
                 match key {
                     Some(key) => {
-                        if let Some(group) = groups.get_mut(&key) {
+                        if let Some(group) = self.groups.get_mut(&key) {
                             group.llc_misses += s.weight;
                             group.samples += 1;
                         } else {
-                            unattributed += s.weight;
+                            self.unattributed += s.weight;
                         }
                     }
-                    None => unattributed += s.weight,
+                    None => self.unattributed += s.weight,
                 }
             }
             _ => {}
         }
     }
 
-    let mut report = ObjectReport {
-        application: trace.metadata.application.clone(),
-        objects: groups
-            .into_values()
-            .map(|g| ObjectStats {
-                name: g.name,
-                site: g.site,
-                kind: g.kind,
-                max_size: g.max_size,
-                min_size: if g.min_size.bytes() == u64::MAX {
-                    ByteSize::ZERO
-                } else {
-                    g.min_size
-                },
-                llc_misses: g.llc_misses,
-                samples: g.samples,
-                allocation_count: g.allocation_count,
-            })
-            .collect(),
-        total_misses,
-        unattributed_misses: unattributed,
-    };
-    report.sort_by_misses();
-    report
+    /// Events consumed so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Finalise the per-object report (sorted by descending miss count).
+    pub fn finish(self) -> ObjectReport {
+        let mut report = ObjectReport {
+            application: self.application,
+            objects: self
+                .groups
+                .into_values()
+                .map(|g| ObjectStats {
+                    name: g.name,
+                    site: g.site,
+                    kind: g.kind,
+                    max_size: g.max_size,
+                    min_size: if g.min_size.bytes() == u64::MAX {
+                        ByteSize::ZERO
+                    } else {
+                        g.min_size
+                    },
+                    llc_misses: g.llc_misses,
+                    samples: g.samples,
+                    allocation_count: g.allocation_count,
+                })
+                .collect(),
+            total_misses: self.total_misses,
+            unattributed_misses: self.unattributed,
+        };
+        report.sort_by_misses();
+        report
+    }
+}
+
+/// Analyse an in-memory trace into a per-object report (single forward pass
+/// over [`ObjectStatsBuilder`]).
+pub fn analyze_trace(trace: &TraceFile) -> ObjectReport {
+    analyze_stream(trace.metadata.application.clone(), trace.events())
+}
+
+/// Analyse any infallible event stream (e.g. an iterator over in-memory
+/// events, or a merged multi-rank stream with the events extracted) without
+/// materialising it. For a fallible source such as a
+/// [`TraceReader`](hmsim_trace::TraceReader), use [`analyze_try_stream`].
+pub fn analyze_stream<E: Borrow<TraceEvent>>(
+    application: impl Into<String>,
+    events: impl IntoIterator<Item = E>,
+) -> ObjectReport {
+    let mut builder = ObjectStatsBuilder::new(application);
+    for e in events {
+        builder.push(e.borrow());
+    }
+    builder.finish()
+}
+
+/// Analyse a fallible event stream — e.g. a
+/// [`TraceReader`](hmsim_trace::TraceReader) streaming an on-disk binary
+/// trace — stopping at the first error.
+pub fn analyze_try_stream(
+    application: impl Into<String>,
+    events: impl IntoIterator<Item = HmResult<TraceEvent>>,
+) -> HmResult<ObjectReport> {
+    let mut builder = ObjectStatsBuilder::new(application);
+    for e in events {
+        builder.push(&e?);
+    }
+    Ok(builder.finish())
 }
 
 fn lookup_by_address(live: &[(AddressRange, GroupKey)], addr: Address) -> Option<GroupKey> {

@@ -23,6 +23,6 @@ pub mod csv;
 pub mod folding;
 pub mod object_stats;
 
-pub use analyzer::analyze_trace;
-pub use folding::{FoldedBin, FoldedTimeline};
+pub use analyzer::{analyze_stream, analyze_trace, analyze_try_stream, ObjectStatsBuilder};
+pub use folding::{FoldAccumulator, FoldedBin, FoldedTimeline};
 pub use object_stats::{ObjectReport, ObjectStats, ReportedKind};

@@ -12,11 +12,12 @@
 use crate::simrun::{AppRun, RunConfig, RunResult};
 use auto_hbwmalloc::{AllocationRouter, AutoHbwMalloc, RouterFactory};
 use hmem_advisor::{Advisor, MemorySpec, PlacementReport, SelectionStrategy};
-use hmsim_analysis::{analyze_trace, ObjectReport};
+use hmsim_analysis::{analyze_trace, analyze_try_stream, ObjectReport};
 use hmsim_apps::AppSpec;
 use hmsim_common::{ByteSize, HmError, HmResult};
 use hmsim_profiler::ProfilerConfig;
-use hmsim_trace::TraceSummary;
+use hmsim_trace::{write_binary_to, TraceFile, TraceReader, TraceSummary};
+use std::path::PathBuf;
 
 /// Configuration of one end-to-end pipeline execution.
 #[derive(Clone, Debug)]
@@ -33,6 +34,11 @@ pub struct FrameworkPipeline {
     /// layouts, exercising the translation path exactly as a real re-run
     /// under ASLR would.
     pub seed: u64,
+    /// When set, the profiling trace is written to this path through the
+    /// chunked binary writer and stage 2 re-reads it as a stream from disk —
+    /// the out-of-core hand-off between Extrae and Paramedir (the in-memory
+    /// trace is dropped before analysis).
+    pub trace_spill: Option<PathBuf>,
 }
 
 impl FrameworkPipeline {
@@ -44,7 +50,15 @@ impl FrameworkPipeline {
             profiler: ProfilerConfig::default(),
             iterations_override: None,
             seed: 0xBA5E,
+            trace_spill: None,
         }
+    }
+
+    /// Spill the profiling trace to a binary file at `path` and run the
+    /// analysis stage as a stream over it (out-of-core mode).
+    pub fn with_trace_spill(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_spill = Some(path.into());
+        self
     }
 
     /// Override the iteration count (both runs).
@@ -74,15 +88,25 @@ impl FrameworkPipeline {
         let profile_cfg = self
             .run_config(self.mcdram_budget)
             .with_profiling(self.profiler.clone());
-        let profile_run = AppRun::new(spec, profile_cfg).execute(RouterFactory::ddr())?;
+        let mut profile_run = AppRun::new(spec, profile_cfg).execute(RouterFactory::ddr())?;
         let trace = profile_run
             .trace
-            .as_ref()
+            .take()
             .ok_or_else(|| HmError::InvalidState("profiling run produced no trace".into()))?;
-        let trace_summary = TraceSummary::of(trace);
+        let trace_summary = TraceSummary::of(&trace);
 
-        // Stage 2: Paramedir-style analysis.
-        let object_report: ObjectReport = analyze_trace(trace);
+        // Stage 2: Paramedir-style analysis. In spill mode the trace goes to
+        // disk through the chunked binary writer and is dropped before the
+        // analysis streams it back, so events and report never coexist in
+        // memory.
+        let object_report: ObjectReport = match &self.trace_spill {
+            None => analyze_trace(&trace),
+            Some(path) => {
+                Self::write_trace(&trace, path)?;
+                drop(trace);
+                Self::analyze_spilled(path)?
+            }
+        };
 
         // Stage 3: hmem_advisor.
         let memspec = MemorySpec::knl_budget(self.mcdram_budget);
@@ -104,6 +128,20 @@ impl FrameworkPipeline {
             profiling_overhead: profile_run.monitoring_overhead,
             result,
         })
+    }
+
+    /// Write `trace` to `path` through the chunked binary writer.
+    fn write_trace(trace: &TraceFile, path: &PathBuf) -> HmResult<()> {
+        let file = std::fs::File::create(path)?;
+        write_binary_to(std::io::BufWriter::new(file), trace)?;
+        Ok(())
+    }
+
+    /// Stream a spilled binary trace from disk into the per-object report.
+    fn analyze_spilled(path: &PathBuf) -> HmResult<ObjectReport> {
+        let reader = TraceReader::open(path)?;
+        let application = reader.metadata().application.clone();
+        analyze_try_stream(application, reader)
     }
 }
 
@@ -181,6 +219,37 @@ mod tests {
         assert!(outcome.trace_summary.samples < 50_000);
         assert!(outcome.profiling_overhead < 0.1);
         assert!(outcome.object_report.total_misses > 0);
+    }
+
+    #[test]
+    fn trace_spill_mode_produces_the_same_outcome() {
+        let spec = app_by_name("miniFE").unwrap();
+        let budget = ByteSize::from_mib(128);
+        let strategy = SelectionStrategy::Misses {
+            threshold_percent: 0.0,
+        };
+        let in_memory = FrameworkPipeline::new(budget, strategy)
+            .with_iterations(6)
+            .run(&spec)
+            .unwrap();
+        let spill_path = std::env::temp_dir().join(format!(
+            "hmsim_pipeline_spill_test_{}.hmtb",
+            std::process::id()
+        ));
+        let spilled = FrameworkPipeline::new(budget, strategy)
+            .with_iterations(6)
+            .with_trace_spill(&spill_path)
+            .run(&spec)
+            .unwrap();
+        // The on-disk streamed analysis must match the in-memory analysis
+        // bitwise, and everything downstream of it too.
+        assert_eq!(spilled.object_report, in_memory.object_report);
+        assert_eq!(spilled.placement.entries, in_memory.placement.entries);
+        assert_eq!(spilled.result.fom, in_memory.result.fom);
+        assert!(spill_path.exists(), "binary trace file written");
+        let reader = hmsim_trace::TraceReader::open(&spill_path).unwrap();
+        assert_eq!(reader.metadata().application, "miniFE");
+        let _ = std::fs::remove_file(&spill_path);
     }
 
     #[test]

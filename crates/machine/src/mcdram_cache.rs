@@ -54,9 +54,13 @@ impl McdramCacheModel {
     /// * If the working set fits, hits dominate but direct-mapped conflicts
     ///   remove a slice proportional to occupancy and irregularity.
     /// * If it does not fit, the resident fraction bounds the hit rate; a
-    ///   streaming access pattern over an over-sized working set degrades all
-    ///   the way to (almost) zero reuse, while random access still finds the
-    ///   resident fraction.
+    ///   streaming access pattern over an over-sized working set degrades
+    ///   towards (almost) zero reuse, while random access still finds the
+    ///   resident fraction. Just past capacity only the small overflow slice
+    ///   thrashes, so the estimate decays *continuously* from the
+    ///   at-capacity value instead of cliff-dropping the moment
+    ///   `working_set == capacity + 1` (the old behaviour: ~0.95 just under,
+    ///   0.25 just over for streaming workloads).
     pub fn hit_rate(&self, working_set: ByteSize, irregularity: f64) -> f64 {
         let ws = working_set.bytes() as f64;
         let cap = self.capacity.bytes() as f64;
@@ -72,12 +76,29 @@ impl McdramCacheModel {
             (1.0 - conflicts).clamp(0.0, 1.0)
         } else {
             let resident = cap / ws;
-            // Streaming over an over-sized set evicts lines before reuse
-            // (classic LRU/DM capacity thrash); random access at least hits
-            // the resident fraction.
+            // Asymptotic regime (ws >> cap): streaming over an over-sized set
+            // evicts lines before reuse (classic LRU/DM capacity thrash);
+            // random access at least hits the resident fraction.
             let streaming_hit = resident * 0.25;
             let random_hit = resident * (1.0 - self.conflict_factor);
-            ((1.0 - irregularity) * streaming_hit + irregularity * random_hit).clamp(0.0, 1.0)
+            let thrash = (1.0 - irregularity) * streaming_hit + irregularity * random_hit;
+            // Value both regimes agree on at the capacity boundary (the
+            // fitting branch evaluated at occupancy 1).
+            let at_capacity = 1.0 - self.conflict_factor * (0.5 + 0.5 * irregularity);
+            let thrash_at_capacity =
+                (1.0 - irregularity) * 0.25 + irregularity * (1.0 - self.conflict_factor);
+            // Blend: when barely over capacity (resident → 1) most lines
+            // still survive until reuse, so the rate starts at the
+            // at-capacity value and decays to the thrash asymptote as the
+            // overflow grows. The quadratic ramp reaches the asymptote by
+            // resident = 0.8 (working set 1.25x capacity), keeping the blend
+            // local to the boundary — beyond that the pure thrash model
+            // applies — while staying monotone in the working-set size.
+            const RAMP_START: f64 = 0.8;
+            let ramp = ((resident - RAMP_START) / (1.0 - RAMP_START)).max(0.0);
+            let boundary_weight = ramp * ramp;
+            let excess = (at_capacity - thrash_at_capacity).max(0.0);
+            (thrash + excess * boundary_weight).clamp(0.0, 1.0)
         }
     }
 
@@ -136,6 +157,37 @@ mod tests {
             for irr in [0.0, 0.3, 0.7, 1.0] {
                 let hr = m.hit_rate(ByteSize::from_gib(gib), irr);
                 assert!((0.0..=1.0).contains(&hr), "hr {hr} for {gib} GiB irr {irr}");
+            }
+        }
+    }
+
+    /// Regression for the capacity-boundary cliff: sweeping the working set
+    /// through `capacity` must decrease the hit rate monotonically and
+    /// without a jump (the old model fell from ~0.95 to 0.25 between
+    /// 16 GiB and 16 GiB + 1 byte for streaming workloads).
+    #[test]
+    fn hit_rate_is_continuous_and_monotone_through_capacity() {
+        let m = McdramCacheModel::knl();
+        let cap = m.capacity().bytes();
+        for irr in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            // No discontinuity at the boundary itself.
+            let just_under = m.hit_rate(ByteSize::from_bytes(cap - 1), irr);
+            let at = m.hit_rate(ByteSize::from_bytes(cap), irr);
+            let just_over = m.hit_rate(ByteSize::from_bytes(cap + 1), irr);
+            assert!(
+                (just_under - at).abs() < 1e-6 && (at - just_over).abs() < 1e-6,
+                "cliff at capacity for irr {irr}: {just_under} / {at} / {just_over}"
+            );
+            // Fine sweep from half to 8x capacity: non-increasing throughout.
+            let mut prev = f64::INFINITY;
+            for step in 0..=256u64 {
+                let ws = cap / 2 + (cap * 15 / 2) * step / 256;
+                let hr = m.hit_rate(ByteSize::from_bytes(ws), irr);
+                assert!(
+                    hr <= prev + 1e-12,
+                    "hit rate rose from {prev} to {hr} at ws {ws} irr {irr}"
+                );
+                prev = hr;
             }
         }
     }

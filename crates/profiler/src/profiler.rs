@@ -2,7 +2,7 @@
 
 use crate::config::ProfilerConfig;
 use crate::overhead::OverheadModel;
-use hmsim_common::{Address, DetRng, Nanos, ObjectId};
+use hmsim_common::{Address, DetRng, HmResult, Nanos, ObjectId};
 use hmsim_heap::{DataObject, ObjectKind};
 use hmsim_pebs::{PebsEvent, PebsSampler, ProcessorFamily};
 use hmsim_trace::{
@@ -218,6 +218,16 @@ impl Profiler {
         self.trace.sort_by_time();
         self.trace
     }
+
+    /// Finish profiling and emit the trace through the chunked binary writer
+    /// into `sink` (a file, a socket, …) instead of handing back the
+    /// in-memory [`TraceFile`]. The events are still sorted in memory first
+    /// (capture is simulated, so the whole trace exists anyway); the binary
+    /// sink is for the *consumers*, which can then stream it without
+    /// re-materialising. Returns the sink.
+    pub fn finish_binary<W: std::io::Write>(self, sink: W) -> HmResult<W> {
+        hmsim_trace::write_binary_to(sink, &self.finish())
+    }
 }
 
 #[cfg(test)]
@@ -372,6 +382,29 @@ mod tests {
         let base = Nanos::from_secs(100.0);
         assert!(heavy.overhead_fraction(base) > light.overhead_fraction(base));
         assert!(light.overhead_fraction(base) < 0.01);
+    }
+
+    #[test]
+    fn finish_binary_matches_finish() {
+        let build = || {
+            let mut p = profiler(1000);
+            let a = object(0, 0x10_0000, ByteSize::from_mib(4), ObjectKind::Dynamic);
+            p.record_alloc(&a, Nanos::ZERO);
+            p.phase_begin("iteration", Nanos::ZERO);
+            p.record_interval(
+                Nanos::ZERO,
+                Nanos::from_millis(50.0),
+                10_000_000,
+                &[(&a, 40_000)],
+            );
+            p.phase_end("iteration", Nanos::from_millis(50.0));
+            p
+        };
+        let in_memory = build().finish();
+        let bytes = build().finish_binary(Vec::new()).unwrap();
+        let reread = hmsim_trace::read_binary(&bytes).unwrap();
+        assert_eq!(reread.metadata, in_memory.metadata);
+        assert_eq!(reread.events(), in_memory.events());
     }
 
     #[test]

@@ -3,7 +3,13 @@
 //! The format is a simplified analogue of Paraver's `.prv`: a `#`-prefixed
 //! header with the metadata, then one record per line with colon-separated
 //! fields. Field contents that may contain colons (site keys, names) are
-//! percent-escaped.
+//! percent-escaped; the escape set also covers `%`, space and the
+//! line-breaking controls `\n`, `\r` and `\t`, so arbitrary names round-trip
+//! exactly. Parse errors carry the offending 1-based line number.
+//!
+//! For large traces prefer the chunked binary format in [`crate::binary`],
+//! which parses an order of magnitude faster and streams without
+//! materialising the file (see `BENCH_trace.json`).
 //!
 //! ```text
 //! #hmsim-trace app=HPCG ranks=64 threads=4 period=37589 minalloc=4096 rank=0
@@ -21,6 +27,11 @@ use hmsim_callstack::SiteKey;
 use hmsim_common::{Address, ByteSize, HmError, HmResult, Nanos, ObjectId};
 use std::fmt::Write as _;
 
+/// Percent-escape the characters that would corrupt the line format: the
+/// field separator, the escape character itself, spaces (header fields are
+/// whitespace-split) and every line-break/whitespace control character —
+/// `\n` obviously, but also `\r` (silently eaten by `str::lines` at line
+/// ends) and `\t`.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -29,6 +40,8 @@ fn escape(s: &str) -> String {
             '%' => out.push_str("%25"),
             ' ' => out.push_str("%20"),
             '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            '\t' => out.push_str("%09"),
             _ => out.push(c),
         }
     }
@@ -46,6 +59,8 @@ fn unescape(s: &str) -> String {
                 "25" => out.push('%'),
                 "20" => out.push(' '),
                 "0A" | "0a" => out.push('\n'),
+                "0D" | "0d" => out.push('\r'),
+                "09" => out.push('\t'),
                 other => {
                     out.push('%');
                     out.push_str(other);
@@ -342,6 +357,53 @@ mod tests {
         assert!(text
             .lines()
             .any(|l| l.starts_with("B:") && l.matches(':').count() == 2));
+    }
+
+    /// Regression: `\r` and `\t` in names used to pass through unescaped —
+    /// a trailing `\r` is swallowed by `str::lines` on re-read and an
+    /// embedded one corrupts the record framing.
+    #[test]
+    fn carriage_returns_and_tabs_in_names_survive_round_trip() {
+        let hostile = [
+            "name with \r return",
+            "trailing\r",
+            "\rleading",
+            "tab\tseparated",
+            "all\r\n\tof it %3A",
+        ];
+        let mut t = TraceFile::new(TraceMetadata {
+            application: "evil\rapp\tname".to_string(),
+            ..Default::default()
+        });
+        for (i, name) in hostile.iter().enumerate() {
+            t.push(TraceEvent::PhaseBegin {
+                time: Nanos(i as f64),
+                name: name.to_string(),
+            });
+            t.push(TraceEvent::PhaseEnd {
+                time: Nanos(i as f64 + 0.5),
+                name: name.to_string(),
+            });
+        }
+        let text = write_text(&t);
+        // The escaped output must be exactly one physical line per record.
+        assert_eq!(text.lines().count(), 1 + 2 * hostile.len());
+        let parsed = read_text(&text).unwrap();
+        assert_eq!(parsed.metadata.application, "evil\rapp\tname");
+        assert_eq!(parsed.events(), t.events());
+    }
+
+    #[test]
+    fn parse_errors_point_at_the_offending_line() {
+        // Line 4 is the broken one (header, record, blank, bad record).
+        let text = "#hmsim-trace app=x ranks=1 threads=1 period=1 minalloc=1 rank=0\n\
+                    B:1:ok\n\
+                    \n\
+                    S:2:3:-:-:notanumber:-\n";
+        match read_text(text).unwrap_err() {
+            HmError::Parse { line, .. } => assert_eq!(line, Some(4)),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

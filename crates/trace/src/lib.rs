@@ -11,20 +11,36 @@
 //! consumes these traces; the profiler (`hmsim-profiler`, our Extrae)
 //! produces them.
 //!
-//! Traces can be kept in memory or serialised to a simple line-oriented text
-//! format reminiscent of Paraver's `.prv` files (`record-type:time:fields…`
-//! with a `#` header), implemented in [`format`].
+//! Traces exist in three representations:
+//!
+//! * **In memory** as a [`TraceFile`] — convenient for tests and small runs.
+//! * **Text** (`.prv`-like, [`format`]): one record per line with
+//!   colon-separated, percent-escaped fields and a `#` header. Human-readable
+//!   interchange format.
+//! * **Binary** ([`binary`]): a compact chunked record format with a
+//!   buffered [`BinaryWriter`] and a streaming [`TraceReader`] that iterates
+//!   events while holding one chunk in memory — the out-of-core capture
+//!   format, sized for traces that do not fit in RAM.
+//!
+//! Per-rank streams can be combined with [`merge`]: a k-way, O(ranks)-memory
+//! merge that time-orders events from any number of rank traces into one
+//! logical multi-rank stream of [`RankedEvent`]s, mirroring Extrae's
+//! `.mpits` merge step.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod binary;
 pub mod event;
 pub mod filter;
 pub mod format;
+pub mod merge;
 pub mod summary;
 pub mod trace_file;
 
+pub use binary::{read_binary, write_binary, write_binary_to, BinaryWriter, TraceReader};
 pub use event::{AllocationRecord, CounterSnapshot, ObjectClass, SampleRecord, TraceEvent};
 pub use filter::EventFilter;
+pub use merge::{merge_traces, MergedStream, RankedEvent};
 pub use summary::TraceSummary;
 pub use trace_file::{TraceFile, TraceMetadata};

@@ -1,0 +1,287 @@
+//! K-way merge of per-rank trace streams into one logical multi-rank stream.
+//!
+//! The paper's Figure-4 grid simulates multi-rank MPI runs, but a
+//! [`TraceFile`](crate::TraceFile) describes a single rank. This module
+//! time-orders any number of per-rank event streams (in-memory traces or
+//! [`TraceReader`](crate::binary::TraceReader)s over files) into one merged
+//! stream of [`RankedEvent`]s — the analogue of Extrae's trace-merging step
+//! that combines `TRACE.mpits` pieces into the final Paraver trace.
+//!
+//! The merge is streaming: it holds one lookahead event per input, so merging
+//! `k` on-disk traces needs O(k) memory regardless of trace length. Ordering
+//! is deterministic: events are emitted by ascending timestamp, ties broken
+//! by rank and then by the events' order within their stream.
+
+use crate::event::TraceEvent;
+use hmsim_common::HmResult;
+use std::collections::BinaryHeap;
+
+/// One event of a merged multi-rank stream, tagged with its origin rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedEvent {
+    /// The MPI rank whose trace produced the event.
+    pub rank: u32,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+struct HeapEntry {
+    time_bits: u64,
+    rank: u32,
+    seq: u64,
+    stream: usize,
+    event: TraceEvent,
+}
+
+impl HeapEntry {
+    /// `BinaryHeap` is a max-heap; order entries so the *earliest* event is
+    /// the greatest. `f64::total_cmp` keys make the order total and
+    /// deterministic (timestamps are non-negative, so the bit order matches
+    /// the numeric order).
+    fn sort_key(
+        &self,
+    ) -> (
+        std::cmp::Reverse<u64>,
+        std::cmp::Reverse<u32>,
+        std::cmp::Reverse<u64>,
+    ) {
+        (
+            std::cmp::Reverse(self.time_bits),
+            std::cmp::Reverse(self.rank),
+            std::cmp::Reverse(self.seq),
+        )
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.sort_key() == other.sort_key()
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+/// A streaming k-way merge over per-rank event streams.
+///
+/// Construct with [`MergedStream::new`] from `(rank, stream)` pairs, where
+/// each stream yields `HmResult<TraceEvent>` in non-decreasing time order
+/// (what [`TraceReader`](crate::binary::TraceReader) produces and what the
+/// profiler writes). The first stream error is yielded and the merge stops.
+pub struct MergedStream<I: Iterator<Item = HmResult<TraceEvent>>> {
+    streams: Vec<I>,
+    heap: BinaryHeap<HeapEntry>,
+    next_seq: u64,
+    /// A refill error waiting to be yielded *after* the already-popped valid
+    /// event it was discovered alongside.
+    deferred_error: Option<hmsim_common::HmError>,
+    failed: bool,
+}
+
+impl<I: Iterator<Item = HmResult<TraceEvent>>> MergedStream<I> {
+    /// Build a merge over `(rank, stream)` pairs.
+    pub fn new(inputs: Vec<(u32, I)>) -> HmResult<Self> {
+        let mut merged = MergedStream {
+            streams: Vec::with_capacity(inputs.len()),
+            heap: BinaryHeap::with_capacity(inputs.len()),
+            next_seq: 0,
+            deferred_error: None,
+            failed: false,
+        };
+        let mut ranks = Vec::with_capacity(inputs.len());
+        for (rank, stream) in inputs {
+            merged.streams.push(stream);
+            ranks.push(rank);
+        }
+        for (idx, rank) in ranks.into_iter().enumerate() {
+            merged.refill(idx, rank)?;
+        }
+        Ok(merged)
+    }
+
+    /// Pull the next event of stream `idx` into the heap, if any.
+    fn refill(&mut self, idx: usize, rank: u32) -> HmResult<()> {
+        if let Some(item) = self.streams[idx].next() {
+            let event = item?;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(HeapEntry {
+                time_bits: event.time().nanos().to_bits(),
+                rank,
+                seq,
+                stream: idx,
+                event,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<I: Iterator<Item = HmResult<TraceEvent>>> Iterator for MergedStream<I> {
+    type Item = HmResult<RankedEvent>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if let Some(e) = self.deferred_error.take() {
+            self.failed = true;
+            return Some(Err(e));
+        }
+        let entry = self.heap.pop()?;
+        if let Err(e) = self.refill(entry.stream, entry.rank) {
+            // Emit the valid event first; the error surfaces on the next
+            // call so no readable event is lost.
+            self.deferred_error = Some(e);
+        }
+        Some(Ok(RankedEvent {
+            rank: entry.rank,
+            event: entry.event,
+        }))
+    }
+}
+
+/// Merge in-memory per-rank traces (each tagged with its metadata `rank`)
+/// into one time-ordered `Vec` of ranked events.
+pub fn merge_traces(traces: &[crate::TraceFile]) -> Vec<RankedEvent> {
+    let inputs: Vec<(u32, _)> = traces
+        .iter()
+        .map(|t| (t.metadata.rank, t.events().iter().cloned().map(Ok)))
+        .collect();
+    MergedStream::new(inputs)
+        .expect("in-memory streams cannot fail")
+        .map(|e| e.expect("in-memory streams cannot fail"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_file::{TraceFile, TraceMetadata};
+    use hmsim_common::Nanos;
+
+    fn rank_trace(rank: u32, times: &[f64]) -> TraceFile {
+        let mut t = TraceFile::new(TraceMetadata {
+            rank,
+            ranks: 4,
+            ..Default::default()
+        });
+        for (i, ms) in times.iter().enumerate() {
+            t.push(TraceEvent::PhaseBegin {
+                time: Nanos::from_millis(*ms),
+                name: format!("r{rank}e{i}"),
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn merge_is_time_ordered_across_ranks() {
+        let traces = vec![
+            rank_trace(0, &[1.0, 4.0, 9.0]),
+            rank_trace(1, &[2.0, 3.0, 10.0]),
+            rank_trace(2, &[0.5, 6.0]),
+        ];
+        let merged = merge_traces(&traces);
+        assert_eq!(merged.len(), 8);
+        assert!(merged
+            .windows(2)
+            .all(|w| w[0].event.time() <= w[1].event.time()));
+        let ranks: Vec<u32> = merged.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![2, 0, 1, 1, 0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_rank_deterministically() {
+        let traces = vec![
+            rank_trace(1, &[5.0, 5.0]),
+            rank_trace(0, &[5.0]),
+            rank_trace(3, &[5.0]),
+        ];
+        let merged = merge_traces(&traces);
+        let ranks: Vec<u32> = merged.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![0, 1, 1, 3], "rank then stream order");
+    }
+
+    #[test]
+    fn merging_binary_streams_matches_in_memory_merge() {
+        let traces = vec![
+            rank_trace(0, &[1.0, 3.0]),
+            rank_trace(1, &[2.0]),
+            rank_trace(2, &[0.1, 4.0]),
+            rank_trace(3, &[2.5]),
+        ];
+        let files: Vec<Vec<u8>> = traces.iter().map(crate::binary::write_binary).collect();
+        let inputs: Vec<(u32, _)> = files
+            .iter()
+            .zip(&traces)
+            .map(|(bytes, t)| {
+                (
+                    t.metadata.rank,
+                    crate::binary::TraceReader::new(bytes.as_slice()).unwrap(),
+                )
+            })
+            .collect();
+        let streamed: Vec<RankedEvent> = MergedStream::new(inputs)
+            .unwrap()
+            .map(|e| e.unwrap())
+            .collect();
+        assert_eq!(streamed, merge_traces(&traces));
+    }
+
+    /// A stream error must not swallow the valid event popped alongside it:
+    /// everything decodable is emitted before the error surfaces.
+    #[test]
+    fn stream_error_is_deferred_until_after_the_last_valid_event() {
+        let good = rank_trace(0, &[1.0, 3.0]);
+        let bad = rank_trace(1, &[2.0, 4.0]);
+        // One event per chunk so truncation hits between decodable events.
+        let good_bytes = crate::binary::write_binary(&good);
+        let mut w =
+            crate::binary::BinaryWriter::with_chunk_capacity(Vec::new(), &bad.metadata, 1).unwrap();
+        for e in bad.events() {
+            w.push(e).unwrap();
+        }
+        let mut bad_bytes = w.finish().unwrap();
+        bad_bytes.truncate(bad_bytes.len() - 20);
+
+        let merged = MergedStream::new(vec![
+            (
+                0,
+                crate::binary::TraceReader::new(good_bytes.as_slice()).unwrap(),
+            ),
+            (
+                1,
+                crate::binary::TraceReader::new(bad_bytes.as_slice()).unwrap(),
+            ),
+        ])
+        .unwrap();
+        let items: Vec<HmResult<RankedEvent>> = merged.collect();
+        let ok_times: Vec<f64> = items
+            .iter()
+            .filter_map(|i| i.as_ref().ok().map(|e| e.event.time().millis()))
+            .collect();
+        assert!(
+            ok_times.starts_with(&[1.0, 2.0]),
+            "valid events before the error were lost: {ok_times:?}"
+        );
+        assert!(items.last().unwrap().is_err(), "error must surface");
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_merge() {
+        assert!(merge_traces(&[]).is_empty());
+        assert!(merge_traces(&[rank_trace(0, &[])]).is_empty());
+    }
+}

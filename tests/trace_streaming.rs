@@ -1,0 +1,179 @@
+//! End-to-end equivalence of the out-of-core trace path: per-rank traces
+//! produced by the profiler, written to the chunked binary format, k-way
+//! merged into one logical multi-rank stream, and consumed by the streaming
+//! folding / object-stats passes — all of which must match the in-memory
+//! path bitwise.
+
+use hmsim_analysis::{analyze_stream, FoldAccumulator, FoldedTimeline, ObjectStatsBuilder};
+use hmsim_callstack::SiteKey;
+use hmsim_common::{Address, AddressRange, ByteSize, Nanos, ObjectId, TierId};
+use hmsim_heap::{DataObject, ObjectKind};
+use hmsim_profiler::{Profiler, ProfilerConfig};
+use hmsim_trace::{
+    merge_traces, BinaryWriter, MergedStream, TraceEvent, TraceFile, TraceMetadata, TraceReader,
+};
+
+const RANKS: u32 = 4;
+
+fn rank_object(rank: u32, id: u32, mib: u64) -> DataObject {
+    DataObject {
+        id: ObjectId(id),
+        name: format!("grid_r{rank}_{id}"),
+        kind: ObjectKind::Dynamic,
+        site: Some(SiteKey::from_text(format!(
+            "app!alloc_grid{id}+0x{rank:x}0"
+        ))),
+        range: AddressRange::new(
+            Address(0x10_0000_0000 | (u64::from(rank) << 33) | (u64::from(id) << 28)),
+            ByteSize::from_mib(mib),
+        ),
+        tier: TierId::DDR,
+        allocated_at: Nanos::ZERO,
+        freed_at: None,
+    }
+}
+
+/// A profiled pseudo-run for one rank: repeated iterations with two objects
+/// of different heat, slightly different per-rank timing so the merge
+/// genuinely interleaves.
+fn rank_trace(rank: u32) -> TraceFile {
+    let mut p = Profiler::new(
+        TraceMetadata {
+            application: "merged-app".to_string(),
+            ranks: RANKS,
+            rank,
+            ..Default::default()
+        },
+        ProfilerConfig::dense(997),
+    );
+    // Object ids are globally unique across ranks (like a real MPI run's
+    // per-process heaps mapped at distinct addresses).
+    let hot = rank_object(rank, rank * 2, 64);
+    let cold = rank_object(rank, rank * 2 + 1, 16);
+    p.record_alloc(&hot, Nanos::ZERO);
+    p.record_alloc(&cold, Nanos::ZERO);
+    let iter_ms = 10.0 + rank as f64 * 0.7;
+    for i in 0..6 {
+        // Boundaries computed from the same expression so consecutive
+        // iterations share bit-identical timestamps (`i*iter_ms + iter_ms`
+        // and `(i+1)*iter_ms` differ by an ULP for some ranks, which would
+        // make a later begin sort before the previous end).
+        let start = Nanos::from_millis(i as f64 * iter_ms);
+        let end = Nanos::from_millis((i + 1) as f64 * iter_ms);
+        let kernel_at = start + Nanos::from_millis(iter_ms * 0.6);
+        p.phase_begin("iteration", start);
+        p.record_interval(
+            start,
+            Nanos::from_millis(iter_ms * 0.6),
+            4_000_000,
+            &[(&hot, 30_000), (&cold, 3_000)],
+        );
+        p.phase_begin("kernel", kernel_at);
+        p.record_interval(kernel_at, end - kernel_at, 500_000, &[(&hot, 20_000)]);
+        p.phase_end("kernel", end);
+        p.phase_end("iteration", end);
+    }
+    p.finish()
+}
+
+fn binary_files() -> Vec<(u32, Vec<u8>)> {
+    (0..RANKS)
+        .map(|rank| {
+            let trace = rank_trace(rank);
+            let mut w = BinaryWriter::new(Vec::new(), &trace.metadata).unwrap();
+            for e in trace.events() {
+                w.push(e).unwrap();
+            }
+            (rank, w.finish().unwrap())
+        })
+        .collect()
+}
+
+fn merged_reader(files: &[(u32, Vec<u8>)]) -> MergedStream<TraceReader<&[u8]>> {
+    let inputs: Vec<(u32, _)> = files
+        .iter()
+        .map(|(rank, bytes)| (*rank, TraceReader::new(bytes.as_slice()).unwrap()))
+        .collect();
+    MergedStream::new(inputs).unwrap()
+}
+
+fn merged_stream(files: &[(u32, Vec<u8>)]) -> impl Iterator<Item = (u32, TraceEvent)> + '_ {
+    merged_reader(files)
+        .map(|e| e.unwrap())
+        .map(|e| (e.rank, e.event))
+}
+
+#[test]
+fn streamed_folding_matches_in_memory_folding_on_merged_ranks() {
+    let traces: Vec<TraceFile> = (0..RANKS).map(rank_trace).collect();
+    let in_memory_merged = merge_traces(&traces);
+    assert!(
+        in_memory_merged
+            .windows(2)
+            .all(|w| w[0].event.time() <= w[1].event.time()),
+        "merge must be time ordered"
+    );
+
+    let files = binary_files();
+    let streamed_fold =
+        FoldedTimeline::fold_ranked_stream(merged_reader(&files), "iteration", 16).unwrap();
+    let in_memory_fold = FoldedTimeline::fold_ranked_stream(
+        in_memory_merged.iter().cloned().map(Ok),
+        "iteration",
+        16,
+    )
+    .unwrap();
+    assert_eq!(streamed_fold, in_memory_fold, "folding paths diverged");
+    // Rank-aware instance tracking pairs each rank's begin/end markers
+    // independently: every one of the 4 x 6 iterations is folded.
+    assert_eq!(streamed_fold.instances, RANKS as usize * 6);
+    assert!(streamed_fold.bins.iter().any(|b| b.mips > 0.0));
+}
+
+#[test]
+fn streamed_object_stats_match_in_memory_on_merged_ranks() {
+    let traces: Vec<TraceFile> = (0..RANKS).map(rank_trace).collect();
+    let in_memory_merged = merge_traces(&traces);
+    let files = binary_files();
+
+    let streamed = analyze_stream("merged-app", merged_stream(&files).map(|(_, e)| e));
+    let in_memory = analyze_stream("merged-app", in_memory_merged.iter().map(|e| &e.event));
+    assert_eq!(streamed, in_memory, "object-stats paths diverged");
+
+    // All 4 ranks' objects are present (2 sites per rank) and the hot site
+    // out-misses the cold one within every rank.
+    assert_eq!(streamed.objects.len() as u32, RANKS * 2);
+    for rank in 0..RANKS {
+        let hot = streamed
+            .by_name(&format!("grid_r{rank}_{}", rank * 2))
+            .expect("hot object reported");
+        let cold = streamed
+            .by_name(&format!("grid_r{rank}_{}", rank * 2 + 1))
+            .expect("cold object reported");
+        assert!(hot.llc_misses > cold.llc_misses);
+    }
+    assert!(streamed.total_misses > 0);
+}
+
+/// The folding pass visits each merged event exactly once — O(events), not
+/// O(instances x events) as before the streaming rewrite.
+#[test]
+fn merged_fold_is_a_single_pass_over_events() {
+    let files = binary_files();
+    let mut fold = FoldAccumulator::new("iteration", 16);
+    let mut stats = ObjectStatsBuilder::new("merged-app");
+    let mut total = 0u64;
+    for (rank, event) in merged_stream(&files) {
+        fold.push_ranked(rank, &event);
+        stats.push(&event);
+        total += 1;
+    }
+    assert_eq!(fold.events_visited(), total);
+    assert_eq!(stats.events_seen(), total);
+    let timeline = fold.finish();
+    assert_eq!(timeline.instances, RANKS as usize * 6);
+    // And the counter is the whole story: one visit per event despite the
+    // trace containing dozens of instances of the folded region.
+    let per_rank_events: u64 = (0..RANKS).map(|r| rank_trace(r).len() as u64).sum();
+    assert_eq!(total, per_rank_events);
+}
