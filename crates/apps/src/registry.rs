@@ -2,6 +2,7 @@
 
 use crate::apps;
 use crate::spec::AppSpec;
+use hmsim_common::HmResult;
 
 /// All eight applications of the paper's evaluation, in Table I order.
 pub fn all_apps() -> Vec<AppSpec> {
@@ -15,6 +16,17 @@ pub fn all_apps() -> Vec<AppSpec> {
         apps::maxw_dgtd::spec(),
         apps::gtcp::spec(),
     ]
+}
+
+/// All applications, with every spec validated first. Sweeps should prefer
+/// this over [`all_apps`]: a malformed spec surfaces as a typed error
+/// attributable to one application instead of panicking the whole grid.
+pub fn validated_apps() -> HmResult<Vec<AppSpec>> {
+    let apps = all_apps();
+    for app in &apps {
+        app.validate()?;
+    }
+    Ok(apps)
 }
 
 /// Look an application up by (case-insensitive) name.
@@ -47,8 +59,9 @@ mod tests {
             assert!(names.contains(expected), "missing {expected}");
         }
         for app in &apps {
-            app.validate().unwrap_or_else(|e| panic!("{e}"));
+            app.validate().unwrap();
         }
+        assert_eq!(validated_apps().unwrap().len(), 8);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The declarative application model.
 
-use hmsim_common::{ByteSize, Nanos};
+use hmsim_common::{ByteSize, HmError, HmResult, Nanos};
 use hmsim_heap::ObjectKind;
 
 /// When an object is allocated during the run.
@@ -235,51 +235,59 @@ impl AppSpec {
         f64::from(per_iter) / iteration_time.secs()
     }
 
-    /// Basic consistency checks used by tests: miss shares positive, kernel
-    /// shares summing to ≈ 1, objects referenced by kernels existing.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Basic consistency checks: miss shares positive, kernel shares summing
+    /// to ≈ 1, objects referenced by kernels existing. Returns a typed
+    /// [`HmError::Config`] so bad specs surface as ordinary errors in sweeps
+    /// instead of panicking the whole grid.
+    pub fn validate(&self) -> HmResult<()> {
         if self.objects.is_empty() {
-            return Err(format!("{}: no objects", self.name));
+            return Err(HmError::Config(format!("{}: no objects", self.name)));
         }
         if self.objects.iter().any(|o| o.miss_share < 0.0) {
-            return Err(format!("{}: negative miss share", self.name));
+            return Err(HmError::Config(format!(
+                "{}: negative miss share",
+                self.name
+            )));
         }
         let total_share: f64 = self.objects.iter().map(|o| o.miss_share).sum();
         if total_share <= 0.0 {
-            return Err(format!("{}: zero total miss share", self.name));
+            return Err(HmError::Config(format!(
+                "{}: zero total miss share",
+                self.name
+            )));
         }
         if !self.kernels.is_empty() {
             let instr: f64 = self.kernels.iter().map(|k| k.instruction_share).sum();
             let miss: f64 = self.kernels.iter().map(|k| k.miss_share).sum();
             if (instr - 1.0).abs() > 0.05 || (miss - 1.0).abs() > 0.05 {
-                return Err(format!(
+                return Err(HmError::Config(format!(
                     "{}: kernel shares must sum to 1 (instr {instr:.2}, miss {miss:.2})",
                     self.name
-                ));
+                )));
             }
             for k in &self.kernels {
                 for (obj, _) in k.object_weights {
                     if !self.objects.iter().any(|o| o.name == *obj) {
-                        return Err(format!(
+                        return Err(HmError::Config(format!(
                             "{}: kernel {} references unknown object {obj}",
                             self.name, k.name
-                        ));
+                        )));
                     }
                 }
             }
         }
         for o in &self.objects {
             if o.kind == ObjectKind::Dynamic && o.site.is_empty() {
-                return Err(format!(
+                return Err(HmError::Config(format!(
                     "{}: dynamic object {} has no allocation site",
                     self.name, o.name
-                ));
+                )));
             }
             if o.min_size > o.size {
-                return Err(format!(
+                return Err(HmError::Config(format!(
                     "{}: object {} min_size exceeds size",
                     self.name, o.name
-                ));
+                )));
             }
         }
         Ok(())

@@ -26,6 +26,10 @@ pub enum PlacementApproach {
     CacheMode,
     /// The paper's framework: `auto-hbwmalloc` driven by an advisor report.
     Framework,
+    /// The online migration runtime (`hmsim-runtime`): everything is
+    /// allocated in DDR and the epoch-driven placement engine migrates hot
+    /// objects to fast memory while the application runs.
+    Online,
 }
 
 impl fmt::Display for PlacementApproach {
@@ -36,6 +40,7 @@ impl fmt::Display for PlacementApproach {
             PlacementApproach::AutoHbw { threshold } => write!(f, "autohbw/{threshold}"),
             PlacementApproach::CacheMode => write!(f, "Cache"),
             PlacementApproach::Framework => write!(f, "Framework"),
+            PlacementApproach::Online => write!(f, "Online"),
         }
     }
 }
@@ -65,21 +70,28 @@ pub enum AllocationRouter {
 
 impl AllocationRouter {
     /// Build a router for an approach. `Framework` requires the interposition
-    /// library, so use [`AllocationRouter::framework`] for it.
-    pub fn simple(approach: PlacementApproach) -> AllocationRouter {
+    /// library ([`AllocationRouter::framework`]), so asking for it here is a
+    /// configuration error.
+    pub fn simple(approach: PlacementApproach) -> HmResult<AllocationRouter> {
         let (preferred, static_pref, stack_pref, window) = match &approach {
-            PlacementApproach::DdrOnly | PlacementApproach::CacheMode => {
-                (TierId::DDR, false, false, None)
-            }
+            // Online placement starts everything in DDR; promotion happens
+            // later through page migration, not through the allocator.
+            PlacementApproach::DdrOnly
+            | PlacementApproach::CacheMode
+            | PlacementApproach::Online => (TierId::DDR, false, false, None),
             PlacementApproach::NumactlPreferred => (TierId::MCDRAM, true, true, None),
             PlacementApproach::AutoHbw { threshold } => {
                 (TierId::MCDRAM, false, false, Some((*threshold, None)))
             }
             PlacementApproach::Framework => {
-                panic!("use AllocationRouter::framework for the framework approach")
+                return Err(hmsim_common::HmError::Config(
+                    "the Framework approach needs an advisor-configured interposition \
+                     library; build it with AllocationRouter::framework"
+                        .to_string(),
+                ))
             }
         };
-        AllocationRouter::Simple {
+        Ok(AllocationRouter::Simple {
             approach,
             preferred,
             static_tier_preferred: static_pref,
@@ -87,7 +99,7 @@ impl AllocationRouter {
             size_window: window,
             promoted: ByteSize::ZERO,
             promoted_hwm: ByteSize::ZERO,
-        }
+        })
     }
 
     /// Build the framework router from a configured interposition library.
@@ -241,25 +253,31 @@ pub struct RouterFactory;
 
 impl RouterFactory {
     /// The `autohbw` baseline with the paper's 1 MiB threshold.
-    pub fn autohbw_1m() -> AllocationRouter {
+    pub fn autohbw_1m() -> HmResult<AllocationRouter> {
         AllocationRouter::simple(PlacementApproach::AutoHbw {
             threshold: ByteSize::from_mib(1),
         })
     }
 
     /// The `numactl -p 1` baseline.
-    pub fn numactl() -> AllocationRouter {
+    pub fn numactl() -> HmResult<AllocationRouter> {
         AllocationRouter::simple(PlacementApproach::NumactlPreferred)
     }
 
     /// The DDR-only reference.
-    pub fn ddr() -> AllocationRouter {
+    pub fn ddr() -> HmResult<AllocationRouter> {
         AllocationRouter::simple(PlacementApproach::DdrOnly)
     }
 
     /// The cache-mode configuration (placement-transparent).
-    pub fn cache_mode() -> AllocationRouter {
+    pub fn cache_mode() -> HmResult<AllocationRouter> {
         AllocationRouter::simple(PlacementApproach::CacheMode)
+    }
+
+    /// The online migration runtime: DDR-first allocation, with promotion
+    /// delegated to the epoch-driven placement engine.
+    pub fn online() -> HmResult<AllocationRouter> {
+        AllocationRouter::simple(PlacementApproach::Online)
     }
 }
 
@@ -278,7 +296,7 @@ mod tests {
     #[test]
     fn ddr_router_never_touches_mcdram() {
         let mut heap = heap_with_cap(1024);
-        let mut r = RouterFactory::ddr();
+        let mut r = RouterFactory::ddr().unwrap();
         let (_, range, _) = r
             .malloc(
                 &mut heap,
@@ -298,7 +316,7 @@ mod tests {
     #[test]
     fn numactl_router_is_fcfs_until_exhausted() {
         let mut heap = heap_with_cap(150);
-        let mut r = RouterFactory::numactl();
+        let mut r = RouterFactory::numactl().unwrap();
         // Static data also prefers MCDRAM under numactl.
         assert_eq!(r.static_tier(&heap, ByteSize::from_mib(32)), TierId::MCDRAM);
         assert_eq!(r.stack_tier(&heap, ByteSize::from_mib(8)), TierId::MCDRAM);
@@ -334,7 +352,7 @@ mod tests {
     #[test]
     fn autohbw_router_honours_the_size_threshold() {
         let mut heap = heap_with_cap(1024);
-        let mut r = RouterFactory::autohbw_1m();
+        let mut r = RouterFactory::autohbw_1m().unwrap();
         let (_, small, _) = r
             .malloc(
                 &mut heap,
@@ -365,7 +383,7 @@ mod tests {
     #[test]
     fn cache_mode_router_keeps_everything_in_ddr() {
         let mut heap = heap_with_cap(1024);
-        let mut r = RouterFactory::cache_mode();
+        let mut r = RouterFactory::cache_mode().unwrap();
         let (_, range, _) = r
             .malloc(
                 &mut heap,
@@ -382,7 +400,7 @@ mod tests {
     #[test]
     fn free_releases_promoted_accounting() {
         let mut heap = heap_with_cap(128);
-        let mut r = RouterFactory::numactl();
+        let mut r = RouterFactory::numactl().unwrap();
         let (_, range, _) = r
             .malloc(
                 &mut heap,
@@ -413,9 +431,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "use AllocationRouter::framework")]
     fn framework_requires_the_interposition_constructor() {
-        let _ = AllocationRouter::simple(PlacementApproach::Framework);
+        let err = match AllocationRouter::simple(PlacementApproach::Framework) {
+            Err(e) => e,
+            Ok(_) => panic!("Framework must not build through simple()"),
+        };
+        assert!(
+            matches!(err, hmsim_common::HmError::Config(_)),
+            "expected a typed configuration error, got {err}"
+        );
+        assert!(err.to_string().contains("AllocationRouter::framework"));
+    }
+
+    #[test]
+    fn online_router_allocates_ddr_first() {
+        let mut heap = heap_with_cap(1024);
+        let mut r = RouterFactory::online().unwrap();
+        assert_eq!(r.approach(), PlacementApproach::Online);
+        let (_, range, _) = r
+            .malloc(
+                &mut heap,
+                ByteSize::from_mib(64),
+                "grid",
+                &["main", "malloc"],
+                None,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        assert_eq!(heap.page_table().tier_of(range.start), TierId::DDR);
+        assert_eq!(r.static_tier(&heap, ByteSize::from_mib(10)), TierId::DDR);
+        assert_eq!(r.promoted_hwm(), ByteSize::ZERO);
     }
 
     #[test]
@@ -427,5 +472,6 @@ mod tests {
         );
         assert_eq!(format!("{}", PlacementApproach::CacheMode), "Cache");
         assert_eq!(format!("{}", PlacementApproach::Framework), "Framework");
+        assert_eq!(format!("{}", PlacementApproach::Online), "Online");
     }
 }

@@ -107,7 +107,7 @@ fn bench_sampling_period(c: &mut Criterion) {
                 .with_iterations(5)
                 .with_profiling(ProfilerConfig::dense(period)),
         )
-        .execute(RouterFactory::ddr())
+        .execute(RouterFactory::ddr().unwrap())
         .unwrap();
         let trace = run.trace.as_ref().unwrap();
         let report = analyze_trace(trace);
@@ -139,7 +139,7 @@ fn bench_sampling_period(c: &mut Criterion) {
                             .with_iterations(3)
                             .with_profiling(ProfilerConfig::dense(p)),
                     )
-                    .execute(RouterFactory::ddr())
+                    .execute(RouterFactory::ddr().unwrap())
                     .unwrap()
                 });
             },

@@ -38,7 +38,7 @@ fn bench_fig5(c: &mut Criterion) {
                 .with_iterations(5)
                 .with_profiling(ProfilerConfig::dense(8_009)),
         )
-        .execute(RouterFactory::numactl())
+        .execute(RouterFactory::numactl().unwrap())
         .unwrap()
         .trace
         .unwrap()

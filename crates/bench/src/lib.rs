@@ -13,5 +13,8 @@
 //! | `fig4_placement` | Figure 4 — FOM / MCDRAM HWM / ΔFOM-per-MiB grid |
 //! | `fig5_folding` | Figure 5 — SNAP folded-iteration timeline |
 //! | `ablations` | design-choice ablations (exact knapsack vs greedy, site cache, sampling period) |
+//! | `engine_throughput` | trace-engine hot path, naive vs optimized (`BENCH_engine.json`) |
+//! | `trace_io` | binary trace parse/fold throughput (`BENCH_trace.json`) |
+//! | `runtime_migration` | online migration runtime vs best static placement (`BENCH_runtime.json`) |
 
 pub use hmem_core as core;

@@ -134,16 +134,37 @@ impl AppExperiment {
             .map(|r| r.fom / self.ddr_fom.max(1e-12))
             .unwrap_or(1.0)
     }
+
+    /// The best online-runtime configuration (the dynamic columns).
+    pub fn best_online(&self) -> Option<&ApproachResult> {
+        self.results
+            .iter()
+            .filter(|r| r.label.starts_with("Online/"))
+            .max_by(|a, b| a.fom.partial_cmp(&b.fom).expect("no NaN"))
+    }
+
+    /// FOM of the best online run relative to the best static framework
+    /// configuration (> 1 means migrating online beat every offline
+    /// placement).
+    pub fn online_vs_static(&self) -> Option<f64> {
+        let online = self.best_online()?;
+        let stat = self.best_framework()?;
+        Some(online.fom / stat.fom.max(1e-12))
+    }
 }
 
 /// One baseline approach of the Figure-4 comparison.
 /// One independent simulation of the per-app grid: a framework
-/// strategy × budget configuration or a profiling-free baseline. Folding
-/// both kinds into one job list lets a single `parallel_map` overlap
-/// baseline runs with grid stragglers instead of draining two barriers.
+/// strategy × budget configuration, a profiling-free baseline, or an online
+/// migration run. Folding all kinds into one job list lets a single
+/// `parallel_map` overlap baseline runs with grid stragglers instead of
+/// draining two barriers.
 #[derive(Clone, Copy, Debug)]
 enum GridJob {
     Framework(SelectionStrategy, ByteSize),
+    /// The online migration runtime at one fast-tier budget — the dynamic
+    /// column the static framework grid is compared against.
+    Online(ByteSize),
     Numactl,
     Autohbw,
     Cache,
@@ -153,6 +174,9 @@ enum GridJob {
 /// configurations and the profiling-free baselines are all independent
 /// simulations, so they are fanned out over scoped worker threads.
 pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult<AppExperiment> {
+    // A malformed spec fails this application's experiment with a typed,
+    // attributable error instead of poisoning the whole sweep.
+    spec.validate()?;
     let apply_iters = |mut cfg: RunConfig| {
         if let Some(it) = config.iterations_override {
             cfg = cfg.with_iterations(it);
@@ -164,7 +188,7 @@ pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult
     // DDR reference first: every other configuration's efficiency metric is
     // relative to it.
     let ddr = AppRun::new(spec, apply_iters(RunConfig::flat(config.fcfs_share(spec))))
-        .execute(RouterFactory::ddr())?;
+        .execute(RouterFactory::ddr()?)?;
     let ddr_fom = ddr.fom;
 
     let full_mcdram_mib = ByteSize::from_gib(16).mib();
@@ -181,6 +205,7 @@ pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult
                 .iter()
                 .map(move |b| GridJob::Framework(*s, *b))
         })
+        .chain(config.budgets_for(spec).iter().map(|b| GridJob::Online(*b)))
         .chain([GridJob::Numactl, GridJob::Autohbw, GridJob::Cache])
         .collect();
     let outcomes = parallel_map(jobs, |job| -> HmResult<ApproachResult> {
@@ -202,9 +227,22 @@ pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult
                     is_framework: true,
                 }
             }
+            GridJob::Online(budget) => {
+                let run = AppRun::new(spec, apply_iters(RunConfig::flat(budget)))
+                    .execute(RouterFactory::online()?)?;
+                let mib = budget.mib();
+                ApproachResult {
+                    label: format!("Online/{}", budget),
+                    fom: run.fom,
+                    mcdram_hwm: run.mcdram_hwm,
+                    charged_mcdram_mib: mib,
+                    dfom_per_mbyte: delta_fom_per_mbyte(run.fom, ddr_fom, mib),
+                    is_framework: false,
+                }
+            }
             GridJob::Numactl => {
                 let run = AppRun::new(spec, apply_iters(RunConfig::flat(share)))
-                    .execute(RouterFactory::numactl())?;
+                    .execute(RouterFactory::numactl()?)?;
                 ApproachResult {
                     label: "MCDRAM*".to_string(),
                     fom: run.fom,
@@ -216,7 +254,7 @@ pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult
             }
             GridJob::Autohbw => {
                 let run = AppRun::new(spec, apply_iters(RunConfig::flat(share)))
-                    .execute(RouterFactory::autohbw_1m())?;
+                    .execute(RouterFactory::autohbw_1m()?)?;
                 ApproachResult {
                     label: "autohbw/1m".to_string(),
                     fom: run.fom,
@@ -228,7 +266,7 @@ pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult
             }
             GridJob::Cache => {
                 let run = AppRun::new(spec, apply_iters(RunConfig::cache_mode()))
-                    .execute(RouterFactory::cache_mode())?;
+                    .execute(RouterFactory::cache_mode()?)?;
                 ApproachResult {
                     label: "Cache".to_string(),
                     fom: run.fom,
@@ -295,13 +333,36 @@ mod tests {
     fn grid_contains_all_configurations() {
         let spec = app_by_name("miniFE").unwrap();
         let exp = run_app_experiment(&spec, &quick_config()).unwrap();
-        // 2 strategies × 2 budgets + 4 baselines (MCDRAM*, autohbw, Cache, DDR).
-        assert_eq!(exp.results.len(), 2 * 2 + 4);
+        // 2 strategies × 2 budgets + 2 online budgets
+        // + 4 baselines (MCDRAM*, autohbw, Cache, DDR).
+        assert_eq!(exp.results.len(), 2 * 2 + 2 + 4);
         assert!(exp.best_framework().is_some());
         assert!(exp.baseline("Cache").is_some());
         assert!(exp.baseline("MCDRAM*").is_some());
         assert!(exp.baseline("DDR").unwrap().fom > 0.0);
         assert!((exp.baseline("DDR").unwrap().fom - exp.ddr_fom).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_columns_ride_along_and_track_the_static_grid() {
+        let spec = app_by_name("miniFE").unwrap();
+        let exp = run_app_experiment(&spec, &quick_config()).unwrap();
+        let online = exp.best_online().expect("online rows present");
+        assert!(!online.is_framework);
+        assert!(
+            online.fom > exp.ddr_fom,
+            "online {} must beat DDR {}",
+            online.fom,
+            exp.ddr_fom
+        );
+        // miniFE is stationary, so online cannot beat the best offline
+        // placement — but it must land in its neighbourhood (it pays one
+        // cold iteration plus the migration bytes).
+        let ratio = exp.online_vs_static().unwrap();
+        assert!(
+            ratio > 0.7 && ratio <= 1.05,
+            "online/static ratio {ratio} out of band"
+        );
     }
 
     #[test]

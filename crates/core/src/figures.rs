@@ -91,7 +91,7 @@ pub fn table1_row(spec: &AppSpec, iterations_override: Option<u32>) -> HmResult<
     if let Some(it) = iterations_override {
         cfg = cfg.with_iterations(it);
     }
-    let result = AppRun::new(spec, cfg).execute(RouterFactory::ddr())?;
+    let result = AppRun::new(spec, cfg).execute(RouterFactory::ddr()?)?;
     let trace = result
         .trace
         .as_ref()
@@ -186,7 +186,7 @@ pub fn figure5(iterations: u32, bins: usize) -> HmResult<Figure5Data> {
             .with_iterations(iterations)
             .with_profiling(dense_profiler),
     )
-    .execute(RouterFactory::numactl())?;
+    .execute(RouterFactory::numactl()?)?;
 
     let fold = |run: &RunResult| {
         FoldedTimeline::fold(

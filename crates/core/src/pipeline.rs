@@ -88,7 +88,7 @@ impl FrameworkPipeline {
         let profile_cfg = self
             .run_config(self.mcdram_budget)
             .with_profiling(self.profiler.clone());
-        let mut profile_run = AppRun::new(spec, profile_cfg).execute(RouterFactory::ddr())?;
+        let mut profile_run = AppRun::new(spec, profile_cfg).execute(RouterFactory::ddr()?)?;
         let trace = profile_run
             .trace
             .take()
@@ -179,7 +179,7 @@ mod tests {
             &spec,
             RunConfig::flat(ByteSize::from_mib(budget_mib)).with_iterations(8),
         )
-        .execute(auto_hbwmalloc::RouterFactory::ddr())
+        .execute(auto_hbwmalloc::RouterFactory::ddr().unwrap())
         .unwrap();
         (outcome, ddr)
     }

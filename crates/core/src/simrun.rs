@@ -17,6 +17,7 @@ use hmsim_machine::{
     AnalyticEngine, MachineConfig, MemoryMode, ObjectTraffic, PerfCounters, PhaseProfile, Placement,
 };
 use hmsim_profiler::{Profiler, ProfilerConfig};
+use hmsim_runtime::{MigrationCostModel, ObjectPlacement, OnlineConfig, PlacementController};
 use hmsim_trace::{TraceFile, TraceMetadata};
 use std::collections::HashMap;
 
@@ -33,6 +34,10 @@ pub struct RunConfig {
     pub iterations_override: Option<u32>,
     /// Attach the profiler and produce a trace.
     pub profile: Option<ProfilerConfig>,
+    /// Knobs of the online migration runtime, used when the run executes
+    /// under [`PlacementApproach::Online`] (None = defaults). The analytic
+    /// runner treats one main-loop iteration as one epoch.
+    pub online: Option<OnlineConfig>,
     /// Master seed.
     pub seed: u64,
 }
@@ -46,6 +51,7 @@ impl RunConfig {
             mcdram_capacity,
             iterations_override: None,
             profile: None,
+            online: None,
             seed: 0xC0FFEE,
         }
     }
@@ -57,6 +63,7 @@ impl RunConfig {
             mcdram_capacity: ByteSize::ZERO,
             iterations_override: None,
             profile: None,
+            online: None,
             seed: 0xC0FFEE,
         }
     }
@@ -70,6 +77,12 @@ impl RunConfig {
     /// Override the iteration count (useful to keep tests fast).
     pub fn with_iterations(mut self, iterations: u32) -> Self {
         self.iterations_override = Some(iterations);
+        self
+    }
+
+    /// Configure the online migration runtime for this run.
+    pub fn with_online(mut self, online: OnlineConfig) -> Self {
+        self.online = Some(online);
         self
     }
 }
@@ -94,6 +107,15 @@ pub struct RunResult {
     pub monitoring_overhead: f64,
     /// CPU time spent inside allocators and the interposition library.
     pub allocator_time: Nanos,
+    /// Latency charged for online object migrations (zero for every static
+    /// approach).
+    pub migration_time: Nanos,
+    /// Object migrations the online runtime executed.
+    pub migrations: u64,
+    /// Planned migrations the heap rejected (capacity races). The controller
+    /// plans against the same occupancy the heap enforces, so anything
+    /// non-zero here deserves investigation.
+    pub migrations_rejected: u64,
     /// The trace, when profiling was attached.
     pub trace: Option<TraceFile>,
     /// The placement approach that produced this result.
@@ -200,6 +222,19 @@ impl<'a> AppRun<'a> {
         let mut now = Nanos::ZERO;
         let mut allocator_time = Nanos::ZERO;
 
+        // The online migration runtime: the controller re-plans placement
+        // after every main-loop iteration (the analytic engine's natural
+        // epoch), and every move is charged bytes × per-tier bandwidth.
+        let mut online = (router.approach() == PlacementApproach::Online).then(|| {
+            let cfg = self.config.online.clone().unwrap_or_default();
+            let cost = MigrationCostModel::with_streams(machine, cfg.migration_streams);
+            (PlacementController::new(cfg), cost)
+        });
+        let mut migration_time = Nanos::ZERO;
+        let mut migrations = 0u64;
+        let mut migrations_rejected = 0u64;
+        let mut mcdram_migrated_peak = ByteSize::ZERO;
+
         // Canonical (ASLR-independent) site keys for every dynamic object:
         // derived through the same unwind/translate machinery the framework
         // uses, so the profiling trace, the advisor report and the
@@ -290,6 +325,9 @@ impl<'a> AppRun<'a> {
             if let Some(p) = profiler.as_mut() {
                 p.phase_begin("iteration", now);
             }
+            // Per-object LLC misses observed this iteration (the heat the
+            // online controller consumes at the epoch boundary).
+            let mut iter_heat: HashMap<ObjectId, u64> = HashMap::new();
 
             // Per-iteration churn allocations.
             let mut churn = LiveChurn {
@@ -385,6 +423,9 @@ impl<'a> AppRun<'a> {
                     let node = (kernel_misses_node as f64 * frac) as u64;
                     let process = (kernel_misses_process as f64 * frac) as u64;
                     traffic.push(ObjectTraffic::new(*id, node, irregular));
+                    if online.is_some() {
+                        *iter_heat.entry(*id).or_insert(0) += node;
+                    }
                     profiler_misses.push((*id, process));
                 }
 
@@ -427,6 +468,43 @@ impl<'a> AppRun<'a> {
                 allocator_time += cost;
             }
 
+            // Online epoch boundary: fold this iteration's misses into the
+            // controller's heat, re-run the selection against the budget and
+            // execute the migration delta. The moved bytes are charged at
+            // per-tier bandwidth and serialise into the loop time, exactly
+            // like allocator overhead does.
+            if let Some((controller, cost_model)) = online.as_mut() {
+                for (id, misses) in iter_heat.drain() {
+                    controller.record(id, misses as f64);
+                }
+                let live = ObjectPlacement::snapshot_live(&heap);
+                let plan = controller.end_epoch(&live, TierId::MCDRAM, self.config.mcdram_capacity);
+                let mut epoch_cost = Nanos::ZERO;
+                for (ids, to) in [
+                    (&plan.demotions, TierId::DDR),
+                    (&plan.promotions, TierId::MCDRAM),
+                ] {
+                    for id in ids {
+                        let from = heap.registry().get(*id).map(|o| o.tier).unwrap_or(to);
+                        match heap.migrate_object(*id, to) {
+                            Ok(bytes) => {
+                                epoch_cost += cost_model.charge(bytes, from, to);
+                                migrations += 1;
+                            }
+                            // The controller plans against the same occupancy
+                            // the heap enforces, so this is a should-not-
+                            // happen path — but it must stay observable.
+                            Err(_) => migrations_rejected += 1,
+                        }
+                    }
+                }
+                now += epoch_cost;
+                loop_time += epoch_cost;
+                migration_time += epoch_cost;
+                mcdram_migrated_peak =
+                    mcdram_migrated_peak.max(heap.tier_occupancy(TierId::MCDRAM));
+            }
+
             if let Some(p) = profiler.as_mut() {
                 p.phase_end("iteration", now);
             }
@@ -456,10 +534,13 @@ impl<'a> AppRun<'a> {
             .map(|(name, t)| (name, t / f64::from(iterations)))
             .collect();
 
+        // Online runs never allocate in MCDRAM, so their footprint shows up
+        // as migrated residency rather than allocator HWM.
         let mcdram_hwm = heap
             .allocator(TierId::MCDRAM)
             .map(|a| a.hwm())
-            .unwrap_or(ByteSize::ZERO);
+            .unwrap_or(ByteSize::ZERO)
+            .max(mcdram_migrated_peak);
 
         let approach = match router.approach() {
             PlacementApproach::CacheMode if machine.memory_mode != MemoryMode::Flat => {
@@ -477,6 +558,9 @@ impl<'a> AppRun<'a> {
             kernel_times,
             monitoring_overhead,
             allocator_time: per_process_overhead,
+            migration_time,
+            migrations,
+            migrations_rejected,
             trace: profiler.map(|p| p.finish()),
             approach,
         })
@@ -496,7 +580,7 @@ mod tests {
             &spec,
             RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10),
         );
-        let result = run.execute(RouterFactory::ddr()).unwrap();
+        let result = run.execute(RouterFactory::ddr().unwrap()).unwrap();
         assert!(result.fom > 0.0);
         assert!(result.total_time > Nanos::ZERO);
         assert_eq!(result.mcdram_hwm, ByteSize::ZERO);
@@ -510,10 +594,10 @@ mod tests {
         let spec = app_by_name("miniFE").unwrap();
         let cfg = RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10);
         let ddr = AppRun::new(&spec, cfg.clone())
-            .execute(RouterFactory::ddr())
+            .execute(RouterFactory::ddr().unwrap())
             .unwrap();
         let numactl = AppRun::new(&spec, cfg)
-            .execute(RouterFactory::numactl())
+            .execute(RouterFactory::numactl().unwrap())
             .unwrap();
         assert!(numactl.mcdram_hwm > ByteSize::ZERO);
         assert!(
@@ -531,10 +615,10 @@ mod tests {
             &spec,
             RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10),
         )
-        .execute(RouterFactory::ddr())
+        .execute(RouterFactory::ddr().unwrap())
         .unwrap();
         let cache = AppRun::new(&spec, RunConfig::cache_mode().with_iterations(10))
-            .execute(RouterFactory::cache_mode())
+            .execute(RouterFactory::cache_mode().unwrap())
             .unwrap();
         assert!(
             cache.fom > ddr.fom,
@@ -552,12 +636,45 @@ mod tests {
             .with_iterations(5)
             .with_profiling(ProfilerConfig::default());
         let result = AppRun::new(&spec, cfg)
-            .execute(RouterFactory::ddr())
+            .execute(RouterFactory::ddr().unwrap())
             .unwrap();
         let trace = result.trace.expect("trace present");
         assert!(trace.alloc_count() >= spec.dynamic_objects().count());
         assert!(trace.sample_count() > 0, "PEBS samples recorded");
         assert!(result.monitoring_overhead > 0.0 && result.monitoring_overhead < 0.2);
+    }
+
+    #[test]
+    fn online_run_migrates_hot_objects_and_beats_ddr() {
+        let spec = app_by_name("miniFE").unwrap();
+        let cfg = RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10);
+        let ddr = AppRun::new(&spec, cfg.clone())
+            .execute(RouterFactory::ddr().unwrap())
+            .unwrap();
+        let online = AppRun::new(&spec, cfg)
+            .execute(RouterFactory::online().unwrap())
+            .unwrap();
+        assert_eq!(online.approach, "Online");
+        assert!(online.migrations > 0, "the hot objects must migrate");
+        assert!(online.migration_time > Nanos::ZERO);
+        assert!(
+            online.mcdram_hwm > ByteSize::ZERO,
+            "migrated residency counts as footprint"
+        );
+        assert!(
+            online.mcdram_hwm <= ByteSize::from_mib(256),
+            "budget respected: {}",
+            online.mcdram_hwm
+        );
+        assert!(
+            online.fom > ddr.fom,
+            "online {} vs ddr {}",
+            online.fom,
+            ddr.fom
+        );
+        // Static approaches never migrate.
+        assert_eq!(ddr.migrations, 0);
+        assert_eq!(ddr.migration_time, Nanos::ZERO);
     }
 
     #[test]
@@ -567,7 +684,7 @@ mod tests {
             &spec,
             RunConfig::flat(ByteSize::from_mib(256)).with_iterations(3),
         )
-        .execute(RouterFactory::ddr())
+        .execute(RouterFactory::ddr().unwrap())
         .unwrap();
         assert_eq!(result.kernel_times.len(), spec.kernels.len());
         assert!(result.kernel_times.iter().all(|(_, t)| *t > Nanos::ZERO));
@@ -580,13 +697,13 @@ mod tests {
             &spec,
             RunConfig::flat(ByteSize::from_mib(128)).with_iterations(5),
         )
-        .execute(RouterFactory::ddr())
+        .execute(RouterFactory::ddr().unwrap())
         .unwrap();
         let long = AppRun::new(
             &spec,
             RunConfig::flat(ByteSize::from_mib(128)).with_iterations(20),
         )
-        .execute(RouterFactory::ddr())
+        .execute(RouterFactory::ddr().unwrap())
         .unwrap();
         assert!(long.loop_time > short.loop_time * 2.0);
         let rel = (long.fom - short.fom).abs() / long.fom;

@@ -22,6 +22,12 @@ pub struct ProcessHeap {
     allocators: Vec<TierAllocator>,
     registry: LiveObjectRegistry,
     page_table: PageTable,
+    /// Net bytes migrated into (positive) or out of (negative) each tier,
+    /// indexed by tier id. A tier allocator's `used_bytes` tracks where
+    /// objects were *allocated*; this overlay tracks where their pages
+    /// currently *reside* after [`migrate_object`](Self::migrate_object)
+    /// calls, so capacity enforcement sees the physical occupancy.
+    migration_delta: Vec<i64>,
 }
 
 impl ProcessHeap {
@@ -59,6 +65,7 @@ impl ProcessHeap {
             allocators,
             registry: LiveObjectRegistry::new(),
             page_table: PageTable::new(TierId::DDR),
+            migration_delta: Vec::new(),
         })
     }
 
@@ -81,14 +88,27 @@ impl ProcessHeap {
         self.allocators.iter_mut().find(|a| a.tier() == tier)
     }
 
-    /// Whether an allocation of `size` bytes currently fits in `tier`.
+    /// Whether an allocation of `size` bytes currently fits in `tier`,
+    /// counting both the allocator's arena accounting *and* bytes migrated
+    /// into the tier from elsewhere (physical residency).
     pub fn fits(&self, tier: TierId, size: ByteSize) -> bool {
-        self.allocator(tier).map(|a| a.fits(size)).unwrap_or(false)
+        let Some(alloc) = self.allocator(tier) else {
+            return false;
+        };
+        if !alloc.fits(size) {
+            return false;
+        }
+        match alloc.capacity_cap() {
+            Some(cap) => self.tier_occupancy(tier) + size <= cap,
+            None => true,
+        }
     }
 
     /// Dynamically allocate `size` bytes in `tier`, registering the object
     /// and mapping its pages. Returns the object id, its range and the CPU
-    /// cost of the allocator call.
+    /// cost of the allocator call. The capacity check sees migrated-in
+    /// residency, so a tier cannot be overcommitted through malloc while
+    /// migrated objects occupy it.
     pub fn malloc(
         &mut self,
         size: ByteSize,
@@ -97,6 +117,24 @@ impl ProcessHeap {
         site: Option<SiteKey>,
         now: Nanos,
     ) -> HmResult<(ObjectId, AddressRange, Nanos)> {
+        if !self.fits(tier, size) {
+            let occupancy = self.tier_occupancy(tier);
+            let alloc = self
+                .allocator_mut(tier)
+                .ok_or_else(|| HmError::NotFound(format!("allocator for {tier:?}")))?;
+            // Route through the allocator so its `rejected` statistic counts
+            // the request even when the overflow is migrated-in residency the
+            // allocator itself cannot see.
+            alloc.note_rejected();
+            return Err(HmError::OutOfMemory {
+                tier: alloc.name().to_string(),
+                requested: size.bytes(),
+                available: alloc
+                    .capacity_cap()
+                    .map(|c| c.saturating_sub(occupancy).bytes())
+                    .unwrap_or(0),
+            });
+        }
         let alloc = self
             .allocator_mut(tier)
             .ok_or_else(|| HmError::NotFound(format!("allocator for {tier:?}")))?;
@@ -119,15 +157,24 @@ impl ProcessHeap {
     /// Free the dynamic allocation starting at `addr`. Returns the freed
     /// size and the CPU cost of the call.
     pub fn free(&mut self, addr: Address, now: Nanos) -> HmResult<(ByteSize, Nanos)> {
-        let tier = self
+        // The owning arena identifies the object's home tier (migration moves
+        // pages, never addresses).
+        let home = self
             .allocators
             .iter()
             .find(|a| a.owns(addr))
             .map(|a| a.tier())
             .ok_or(HmError::UnknownAddress(addr.value()))?;
-        let alloc = self.allocator_mut(tier).expect("tier found above");
+        let alloc = self.allocator_mut(home).expect("tier found above");
         let (size, cost) = alloc.free(addr)?;
-        let (_, _) = self.registry.remove_by_start(addr, now)?;
+        let (id, _) = self.registry.remove_by_start(addr, now)?;
+        // If the object had been migrated away from its home tier, unwind the
+        // residency overlay so the destination tier's capacity is released.
+        if let Some(current) = self.registry.get(id).map(|o| o.tier) {
+            if current != home {
+                self.shift_migration_delta(current, home, size);
+            }
+        }
         self.page_table.unmap_range(AddressRange::new(addr, size));
         Ok((size, cost))
     }
@@ -135,6 +182,13 @@ impl ProcessHeap {
     /// Reallocate: allocate a new block in the same tier, free the old one.
     /// (Contents are not modelled.) Returns the new object id and range plus
     /// the combined CPU cost.
+    ///
+    /// "Same tier" means the tier the object's pages currently live in: a
+    /// migrated object re-homes into its current tier's arena, exactly like
+    /// a real `realloc` of `move_pages`-migrated memory would return fresh
+    /// pages on the preferred node. The free unwinds the migration overlay
+    /// and the new allocation is capacity-checked against it, so occupancy
+    /// accounting stays exact across the transition.
     pub fn realloc(
         &mut self,
         addr: Address,
@@ -204,16 +258,90 @@ impl ProcessHeap {
         Ok((id, range))
     }
 
-    /// Move every page of an existing object to another tier (what
-    /// `numactl`-style policies or a migrating runtime would do).
-    pub fn migrate_object(&mut self, id: ObjectId, tier: TierId) -> HmResult<()> {
+    fn delta_slot(&mut self, tier: TierId) -> &mut i64 {
+        let idx = tier.index();
+        if idx >= self.migration_delta.len() {
+            self.migration_delta.resize(idx + 1, 0);
+        }
+        &mut self.migration_delta[idx]
+    }
+
+    fn shift_migration_delta(&mut self, from: TierId, to: TierId, size: ByteSize) {
+        *self.delta_slot(from) -= size.bytes() as i64;
+        *self.delta_slot(to) += size.bytes() as i64;
+    }
+
+    /// Bytes physically resident in `tier` right now: what its allocator
+    /// handed out, adjusted by the net effect of object migrations. (Objects
+    /// placed in a tier without going through its allocator — statics under
+    /// `numactl -p 1` — are outside both terms, mirroring how the capacity
+    /// cap has always been enforced.)
+    pub fn tier_occupancy(&self, tier: TierId) -> ByteSize {
+        let allocated = self
+            .allocator(tier)
+            .map(|a| a.used_bytes().bytes() as i64)
+            .unwrap_or(0);
+        let delta = self.migration_delta.get(tier.index()).copied().unwrap_or(0);
+        ByteSize::from_bytes((allocated + delta).max(0) as u64)
+    }
+
+    /// Whether `tier` can physically absorb `size` migrated bytes under its
+    /// capacity cap. Tiers without a cap (DDR) always admit migrations: the
+    /// move consumes no arena address space, only physical residency.
+    pub fn migration_admits(&self, tier: TierId, size: ByteSize) -> bool {
+        let Some(alloc) = self.allocator(tier) else {
+            return false;
+        };
+        match alloc.capacity_cap() {
+            Some(cap) => self.tier_occupancy(tier) + size <= cap,
+            None => true,
+        }
+    }
+
+    /// Move every page of a live object to another tier (what `numactl`-style
+    /// policies or the online migration runtime do). Enforces the destination
+    /// tier's capacity cap: a move that does not fit fails with
+    /// [`HmError::OutOfMemory`] and leaves the placement, the page table and
+    /// the occupancy accounting untouched. Returns the bytes moved
+    /// ([`ByteSize::ZERO`] when the object already lives in `tier`).
+    pub fn migrate_object(&mut self, id: ObjectId, tier: TierId) -> HmResult<ByteSize> {
         let obj = self
             .registry
             .get(id)
             .ok_or_else(|| HmError::NotFound(format!("{id:?}")))?;
+        if obj.freed_at.is_some() {
+            return Err(HmError::InvalidState(format!(
+                "cannot migrate freed object {} ({id:?})",
+                obj.name
+            )));
+        }
+        let from = obj.tier;
         let range = obj.range;
+        let size = obj.size();
+        if from == tier {
+            return Ok(ByteSize::ZERO);
+        }
+        if !self.migration_admits(tier, size) {
+            let (name, available) = self
+                .allocator(tier)
+                .map(|a| {
+                    let avail = a
+                        .capacity_cap()
+                        .unwrap_or(ByteSize::ZERO)
+                        .saturating_sub(self.tier_occupancy(tier));
+                    (a.name().to_string(), avail.bytes())
+                })
+                .unwrap_or_else(|| (format!("{tier:?}"), 0));
+            return Err(HmError::OutOfMemory {
+                tier: name,
+                requested: size.bytes(),
+                available,
+            });
+        }
         self.page_table.map_range(range, tier);
-        Ok(())
+        self.registry.set_tier(id, tier)?;
+        self.shift_migration_delta(from, tier, size);
+        Ok(size)
     }
 
     /// The live-object registry.
@@ -371,13 +499,202 @@ mod tests {
         let (id, range) = h
             .define_static("grid", ByteSize::from_mib(10), TierId::DDR, Nanos::ZERO)
             .unwrap();
-        h.migrate_object(id, TierId::MCDRAM).unwrap();
+        let moved = h.migrate_object(id, TierId::MCDRAM).unwrap();
+        assert_eq!(moved, ByteSize::from_mib(10));
         assert_eq!(
             h.page_table()
                 .tier_of(range.start.offset(range.len.bytes() - 1)),
             TierId::MCDRAM
         );
+        assert_eq!(h.registry().get(id).unwrap().tier, TierId::MCDRAM);
+        assert_eq!(h.tier_occupancy(TierId::MCDRAM), ByteSize::from_mib(10));
+        // Migrating to the tier it already lives in is a free no-op.
+        assert_eq!(
+            h.migrate_object(id, TierId::MCDRAM).unwrap(),
+            ByteSize::ZERO
+        );
         assert!(h.migrate_object(ObjectId(999), TierId::DDR).is_err());
+    }
+
+    #[test]
+    fn migration_into_full_tier_fails_without_corrupting_accounting() {
+        let mut h = heap();
+        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(32))
+            .unwrap();
+        // Fill MCDRAM with a native allocation, leaving 8 MiB headroom.
+        h.malloc(
+            ByteSize::from_mib(24),
+            TierId::MCDRAM,
+            "resident",
+            None,
+            Nanos::ZERO,
+        )
+        .unwrap();
+        let (big_id, big_range, _) = h
+            .malloc(
+                ByteSize::from_mib(16),
+                TierId::DDR,
+                "too_big",
+                None,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        let occupancy_before = h.tier_occupancy(TierId::MCDRAM);
+        let mapped_before = h.page_table().mapped_bytes(TierId::MCDRAM);
+        let err = h.migrate_object(big_id, TierId::MCDRAM).unwrap_err();
+        assert!(matches!(err, HmError::OutOfMemory { .. }), "{err}");
+        // Nothing moved: placement, page table and occupancy are untouched.
+        assert_eq!(h.registry().get(big_id).unwrap().tier, TierId::DDR);
+        assert_eq!(h.page_table().tier_of(big_range.start), TierId::DDR);
+        assert_eq!(h.tier_occupancy(TierId::MCDRAM), occupancy_before);
+        assert_eq!(h.page_table().mapped_bytes(TierId::MCDRAM), mapped_before);
+        // A smaller object still fits in the 8 MiB headroom afterwards.
+        let (small_id, _, _) = h
+            .malloc(
+                ByteSize::from_mib(4),
+                TierId::DDR,
+                "fits",
+                None,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        assert_eq!(
+            h.migrate_object(small_id, TierId::MCDRAM).unwrap(),
+            ByteSize::from_mib(4)
+        );
+        assert_eq!(
+            h.tier_occupancy(TierId::MCDRAM),
+            occupancy_before + ByteSize::from_mib(4)
+        );
+    }
+
+    #[test]
+    fn re_migration_back_restores_mapping_and_leaks_nothing() {
+        let mut h = heap();
+        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(16))
+            .unwrap();
+        let (id, range, _) = h
+            .malloc(
+                ByteSize::from_mib(8),
+                TierId::DDR,
+                "ping",
+                None,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        let ddr_mapped = h.page_table().mapped_bytes(TierId::DDR);
+        // Round-trip repeatedly: the occupancy overlay must not drift, or the
+        // runtime's hysteresis loop would slowly wedge the fast tier shut.
+        for _ in 0..10 {
+            h.migrate_object(id, TierId::MCDRAM).unwrap();
+            assert_eq!(h.tier_occupancy(TierId::MCDRAM), ByteSize::from_mib(8));
+            h.migrate_object(id, TierId::DDR).unwrap();
+            assert_eq!(h.tier_occupancy(TierId::MCDRAM), ByteSize::ZERO);
+        }
+        // Original page mapping is fully restored.
+        for page in range.pages() {
+            assert_eq!(h.page_table().tier_of_page(page), TierId::DDR);
+        }
+        assert_eq!(h.page_table().mapped_bytes(TierId::DDR), ddr_mapped);
+        assert_eq!(h.registry().get(id).unwrap().tier, TierId::DDR);
+    }
+
+    #[test]
+    fn malloc_cannot_overcommit_a_tier_holding_migrated_objects() {
+        let mut h = heap();
+        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(32))
+            .unwrap();
+        let (id, _, _) = h
+            .malloc(
+                ByteSize::from_mib(24),
+                TierId::DDR,
+                "migrant",
+                None,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        h.migrate_object(id, TierId::MCDRAM).unwrap();
+        // The MCDRAM allocator's own arena is empty, but 24 MiB of migrated
+        // residency occupies the tier: a 16 MiB native allocation must be
+        // refused (and counted as rejected), an 8 MiB one still fits.
+        assert!(!h.fits(TierId::MCDRAM, ByteSize::from_mib(16)));
+        assert!(matches!(
+            h.malloc(
+                ByteSize::from_mib(16),
+                TierId::MCDRAM,
+                "native",
+                None,
+                Nanos::ZERO
+            ),
+            Err(HmError::OutOfMemory { .. })
+        ));
+        assert_eq!(h.stats(TierId::MCDRAM).unwrap().rejected, 1);
+        h.malloc(
+            ByteSize::from_mib(8),
+            TierId::MCDRAM,
+            "native",
+            None,
+            Nanos::ZERO,
+        )
+        .unwrap();
+        assert_eq!(h.tier_occupancy(TierId::MCDRAM), ByteSize::from_mib(32));
+    }
+
+    #[test]
+    fn realloc_of_a_migrated_object_rehomes_with_exact_accounting() {
+        let mut h = heap();
+        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(16))
+            .unwrap();
+        let (id, range, _) = h
+            .malloc(
+                ByteSize::from_mib(8),
+                TierId::DDR,
+                "growing",
+                None,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        h.migrate_object(id, TierId::MCDRAM).unwrap();
+        let (new_id, new_range, _) = h
+            .realloc(range.start, ByteSize::from_mib(12), Nanos::from_millis(1.0))
+            .unwrap();
+        // The replacement re-homes into the MCDRAM arena; the old block's
+        // migrated residency is unwound, so occupancy is exactly the new
+        // allocation — no double counting, no leak.
+        let obj = h.registry().get(new_id).unwrap();
+        assert_eq!(obj.tier, TierId::MCDRAM);
+        assert_eq!(h.tier_occupancy(TierId::MCDRAM), ByteSize::from_mib(12));
+        assert_eq!(h.page_table().tier_of(new_range.start), TierId::MCDRAM);
+        // And a realloc that busts the cap fails instead of overcommitting.
+        assert!(h
+            .realloc(new_range.start, ByteSize::from_mib(24), Nanos::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn freeing_a_migrated_object_releases_fast_tier_occupancy() {
+        let mut h = heap();
+        h.set_capacity_cap(TierId::MCDRAM, ByteSize::from_mib(16))
+            .unwrap();
+        let (id, range, _) = h
+            .malloc(
+                ByteSize::from_mib(12),
+                TierId::DDR,
+                "hot_then_dead",
+                None,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        h.migrate_object(id, TierId::MCDRAM).unwrap();
+        assert!(!h.migration_admits(TierId::MCDRAM, ByteSize::from_mib(8)));
+        h.free(range.start, Nanos::from_millis(1.0)).unwrap();
+        assert_eq!(h.tier_occupancy(TierId::MCDRAM), ByteSize::ZERO);
+        assert!(h.migration_admits(TierId::MCDRAM, ByteSize::from_mib(8)));
+        // A freed object can no longer be migrated.
+        assert!(matches!(
+            h.migrate_object(id, TierId::DDR),
+            Err(HmError::InvalidState(_))
+        ));
     }
 
     #[test]

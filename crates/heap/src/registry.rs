@@ -75,6 +75,23 @@ impl LiveObjectRegistry {
         self.objects.get(&id)
     }
 
+    /// Record that the *live* object `id` now resides in `tier` (the page
+    /// migration itself is the heap's job; this keeps the metadata in sync).
+    pub fn set_tier(&mut self, id: ObjectId, tier: hmsim_common::TierId) -> HmResult<()> {
+        let obj = self
+            .objects
+            .get_mut(&id)
+            .ok_or_else(|| HmError::NotFound(format!("{id:?}")))?;
+        if obj.freed_at.is_some() {
+            return Err(HmError::InvalidState(format!(
+                "object {} ({id:?}) was already freed",
+                obj.name
+            )));
+        }
+        obj.tier = tier;
+        Ok(())
+    }
+
     /// All objects ever registered (live and freed), in id order.
     pub fn all(&self) -> Vec<&DataObject> {
         let mut v: Vec<&DataObject> = self.objects.values().collect();

@@ -190,6 +190,12 @@ impl TierAllocator {
         Ok((range, cost))
     }
 
+    /// Count a request the heap façade rejected before reaching the arena
+    /// (e.g. migrated-in residency filled the tier's capacity cap).
+    pub(crate) fn note_rejected(&mut self) {
+        self.stats.rejected += 1;
+    }
+
     /// Free the allocation starting at `addr`; returns its size and the CPU
     /// cost of the call.
     pub fn free(&mut self, addr: Address) -> HmResult<(ByteSize, Nanos)> {

@@ -1,0 +1,111 @@
+//! The migration cost model: bytes moved × per-tier bandwidth charge.
+//!
+//! A migration reads every page from the source tier and writes it to the
+//! destination tier, so the charge is `bytes/bw(src) + bytes/bw(dst)`. The
+//! per-tier migration bandwidth is the tier's *per-core* streaming bandwidth
+//! times the number of migration threads: page migration (`move_pages`-style)
+//! is a memcpy performed by a handful of kernel threads, not the whole
+//! machine, and must not be credited with the tier's aggregate peak.
+
+use hmsim_common::{ByteSize, Nanos, TierId};
+use hmsim_machine::{BandwidthModel, MachineConfig, MAX_TIERS};
+
+/// Per-tier bandwidth charges for object migration.
+#[derive(Clone, Debug)]
+pub struct MigrationCostModel {
+    /// Migration bandwidth per tier id, GB/s.
+    bw_gbs: [f64; MAX_TIERS],
+    /// Fallback for tier ids beyond the table (slowest tier's bandwidth).
+    fallback_gbs: f64,
+}
+
+impl MigrationCostModel {
+    /// Build the model for a machine, with one migration thread.
+    pub fn new(machine: &MachineConfig) -> Self {
+        Self::with_streams(machine, 1)
+    }
+
+    /// Build the model with `streams` parallel migration threads.
+    pub fn with_streams(machine: &MachineConfig, streams: u32) -> Self {
+        let streams = f64::from(streams.max(1));
+        let slowest = machine
+            .tiers
+            .slowest()
+            .map(|t| t.per_core_bandwidth_gbs)
+            .unwrap_or(1.0);
+        let fallback_gbs = slowest * streams;
+        let mut bw_gbs = [fallback_gbs; MAX_TIERS];
+        for tier in machine.tiers.iter() {
+            if tier.id.index() < MAX_TIERS {
+                // Cap at the tier's aggregate peak: many streams cannot draw
+                // more than the memory system provides.
+                bw_gbs[tier.id.index()] =
+                    (tier.per_core_bandwidth_gbs * streams).min(tier.peak_bandwidth_gbs);
+            }
+        }
+        MigrationCostModel {
+            bw_gbs,
+            fallback_gbs,
+        }
+    }
+
+    fn bandwidth(&self, tier: TierId) -> f64 {
+        self.bw_gbs
+            .get(tier.index())
+            .copied()
+            .unwrap_or(self.fallback_gbs)
+    }
+
+    /// Latency charged for moving `bytes` from `from` to `to`: the read leg
+    /// plus the write leg, each at the owning tier's migration bandwidth.
+    pub fn charge(&self, bytes: ByteSize, from: TierId, to: TierId) -> Nanos {
+        let b = bytes.bytes() as f64;
+        BandwidthModel::transfer_time(b, self.bandwidth(from))
+            + BandwidthModel::transfer_time(b, self.bandwidth(to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_is_linear_and_charges_both_legs() {
+        let m = MigrationCostModel::new(&MachineConfig::knl_7250());
+        let one = m.charge(ByteSize::from_mib(1), TierId::DDR, TierId::MCDRAM);
+        let two = m.charge(ByteSize::from_mib(2), TierId::DDR, TierId::MCDRAM);
+        assert!(one.nanos() > 0.0);
+        assert!((two.nanos() / one.nanos() - 2.0).abs() < 1e-9);
+        // Symmetric: the same two legs are paid in either direction.
+        let back = m.charge(ByteSize::from_mib(1), TierId::MCDRAM, TierId::DDR);
+        assert!((back.nanos() - one.nanos()).abs() < 1e-9);
+        assert_eq!(
+            m.charge(ByteSize::ZERO, TierId::DDR, TierId::MCDRAM),
+            Nanos::ZERO
+        );
+    }
+
+    #[test]
+    fn more_streams_move_faster_but_saturate_at_peak() {
+        let machine = MachineConfig::knl_7250();
+        let one = MigrationCostModel::with_streams(&machine, 1);
+        let four = MigrationCostModel::with_streams(&machine, 4);
+        let huge = MigrationCostModel::with_streams(&machine, 10_000);
+        let b = ByteSize::from_mib(64);
+        let t1 = one.charge(b, TierId::DDR, TierId::MCDRAM);
+        let t4 = four.charge(b, TierId::DDR, TierId::MCDRAM);
+        let tmax = huge.charge(b, TierId::DDR, TierId::MCDRAM);
+        assert!(t4 < t1);
+        assert!(tmax < t4);
+        // Saturation: the DDR leg alone cannot beat DDR peak bandwidth.
+        let floor = BandwidthModel::transfer_time(b.bytes() as f64, 90.0);
+        assert!(tmax >= floor);
+    }
+
+    #[test]
+    fn unknown_tier_uses_the_fallback_bandwidth() {
+        let m = MigrationCostModel::new(&MachineConfig::tiny_test());
+        let t = m.charge(ByteSize::from_mib(1), TierId(77), TierId::DDR);
+        assert!(t.nanos() > 0.0);
+    }
+}

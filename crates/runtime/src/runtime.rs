@@ -1,0 +1,315 @@
+//! The trace-driven online placement runtime.
+//!
+//! Each epoch the runtime (1) drives the [`TraceEngine`] over the next
+//! window of accesses while a [`PebsSampler`] observes the LLC-miss stream,
+//! (2) aggregates the samples into per-object heat through the heap's
+//! live-object registry, (3) re-runs the advisor's selection against the
+//! fast-tier budget, and (4) executes the migration delta through
+//! [`ProcessHeap::migrate_object`], charging every move through the
+//! [`MigrationCostModel`](crate::MigrationCostModel) and adding it to the
+//! run's latency.
+
+use crate::controller::{ObjectPlacement, PlacementController};
+use crate::cost::MigrationCostModel;
+use crate::OnlineConfig;
+use hmsim_common::{Address, ByteSize, Nanos, TierId};
+use hmsim_heap::ProcessHeap;
+use hmsim_machine::{EngineStats, MachineConfig, MemoryAccess, TraceEngine};
+use hmsim_pebs::{PebsEvent, PebsSampler, ProcessorFamily};
+
+/// What one epoch did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochRecord {
+    /// Accesses simulated this epoch.
+    pub accesses: u64,
+    /// PEBS samples captured this epoch.
+    pub samples: u64,
+    /// Objects promoted to the fast tier.
+    pub promotions: u32,
+    /// Objects demoted out of the fast tier.
+    pub demotions: u32,
+    /// Bytes moved by this epoch's migrations.
+    pub bytes_moved: u64,
+    /// Latency charged for this epoch's migrations.
+    pub migration_time: Nanos,
+}
+
+/// Aggregate statistics of one online run.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeStats {
+    /// Epochs executed (including the final partial one).
+    pub epochs: u64,
+    /// Total accesses simulated.
+    pub accesses: u64,
+    /// Total PEBS samples observed.
+    pub samples: u64,
+    /// Migrations executed (promotions + demotions).
+    pub migrations: u64,
+    /// Total bytes moved between tiers.
+    pub bytes_migrated: ByteSize,
+    /// Total latency charged for migrations.
+    pub migration_time: Nanos,
+    /// Planned moves that the heap rejected (capacity races); the plan is
+    /// conservative, so this should stay at zero.
+    pub rejected_moves: u64,
+    /// Per-epoch log (one entry per epoch; epochs are coarse, so this stays
+    /// small even for paper-scale runs).
+    pub epoch_log: Vec<EpochRecord>,
+}
+
+/// The epoch-driven online placement engine.
+pub struct OnlineRuntime {
+    engine: TraceEngine,
+    sampler: PebsSampler,
+    controller: PlacementController,
+    cost: MigrationCostModel,
+    fast_tier: TierId,
+    fast_budget: ByteSize,
+    stats: RuntimeStats,
+}
+
+impl OnlineRuntime {
+    /// Build a runtime for `machine` with `fast_budget` bytes of fast-tier
+    /// capacity at its disposal. The fast tier is the machine's
+    /// highest-performance tier (MCDRAM on KNL).
+    pub fn new(machine: &MachineConfig, fast_budget: ByteSize, cfg: OnlineConfig) -> Self {
+        let fast_tier = machine
+            .tiers
+            .fastest()
+            .map(|t| t.id)
+            .unwrap_or(TierId::MCDRAM);
+        let sampler = PebsSampler::new(
+            ProcessorFamily::KnightsLanding,
+            PebsEvent::LlcLoadMiss,
+            cfg.pebs_period,
+            hmsim_common::DetRng::new(cfg.seed),
+        );
+        OnlineRuntime {
+            engine: TraceEngine::new(machine),
+            sampler,
+            cost: MigrationCostModel::with_streams(machine, cfg.migration_streams),
+            controller: PlacementController::new(cfg),
+            fast_tier,
+            fast_budget,
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// The fast tier this runtime promotes into.
+    pub fn fast_tier(&self) -> TierId {
+        self.fast_tier
+    }
+
+    /// The engine's accumulated simulation statistics.
+    pub fn engine_stats(&self) -> &EngineStats {
+        self.engine.stats()
+    }
+
+    /// The runtime's own statistics.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Total simulated latency: the engine's execution-time estimate plus
+    /// every migration charge.
+    pub fn total_time(&self) -> Nanos {
+        self.engine.stats().time + self.stats.migration_time
+    }
+
+    /// Drive the whole access stream through the epoch loop, mutating the
+    /// heap's placement as the controller decides. Returns the total number
+    /// of LLC misses, mirroring [`TraceEngine::run_stream`].
+    pub fn run<I>(&mut self, accesses: I, heap: &mut ProcessHeap) -> u64
+    where
+        I: IntoIterator<Item = MemoryAccess>,
+    {
+        let mut it = accesses.into_iter();
+        let misses_before = self.engine.stats().counters.llc_misses;
+        let epoch_len = self.controller.config().epoch_accesses;
+        // Sampled (address, weight) pairs of the current epoch; reused.
+        let mut sampled: Vec<(Address, u64)> = Vec::new();
+
+        loop {
+            sampled.clear();
+            let epoch_start = self.engine.stats().time;
+            let mut consumed = 0u64;
+            {
+                let engine = &mut self.engine;
+                let sampler = &mut self.sampler;
+                let page_table = heap.page_table();
+                while consumed < epoch_len {
+                    let Some(acc) = it.next() else { break };
+                    consumed += 1;
+                    engine.access_with(&acc, page_table, |addr| {
+                        if let Some(s) = sampler.observe(epoch_start, addr) {
+                            sampled.push((addr, s.weight));
+                        }
+                    });
+                }
+            }
+            if consumed == 0 {
+                break;
+            }
+            self.stats.accesses += consumed;
+            self.stats.epochs += 1;
+            let record = self.close_epoch(heap, consumed, &sampled);
+            self.stats.epoch_log.push(record);
+            if consumed < epoch_len {
+                break;
+            }
+        }
+        self.engine.stats().counters.llc_misses - misses_before
+    }
+
+    /// Aggregate this epoch's samples into heat, plan and execute the
+    /// migration delta.
+    fn close_epoch(
+        &mut self,
+        heap: &mut ProcessHeap,
+        accesses: u64,
+        sampled: &[(Address, u64)],
+    ) -> EpochRecord {
+        let mut record = EpochRecord {
+            accesses,
+            samples: sampled.len() as u64,
+            ..EpochRecord::default()
+        };
+        self.stats.samples += record.samples;
+        for (addr, weight) in sampled {
+            if let Some(obj) = heap.registry().find_containing(*addr) {
+                self.controller.record(obj.id, *weight as f64);
+            }
+        }
+        let live = ObjectPlacement::snapshot_live(heap);
+        let plan = self
+            .controller
+            .end_epoch(&live, self.fast_tier, self.fast_budget);
+
+        let slow_tier = heap.page_table().default_tier();
+        for id in &plan.demotions {
+            match heap.migrate_object(*id, slow_tier) {
+                Ok(bytes) => {
+                    record.demotions += 1;
+                    record.bytes_moved += bytes.bytes();
+                    record.migration_time += self.cost.charge(bytes, self.fast_tier, slow_tier);
+                }
+                Err(_) => self.stats.rejected_moves += 1,
+            }
+        }
+        for id in &plan.promotions {
+            match heap.migrate_object(*id, self.fast_tier) {
+                Ok(bytes) => {
+                    record.promotions += 1;
+                    record.bytes_moved += bytes.bytes();
+                    record.migration_time += self.cost.charge(bytes, slow_tier, self.fast_tier);
+                }
+                Err(_) => self.stats.rejected_moves += 1,
+            }
+        }
+        self.stats.migrations += u64::from(record.promotions) + u64::from(record.demotions);
+        self.stats.bytes_migrated += ByteSize::from_bytes(record.bytes_moved);
+        self.stats.migration_time += record.migration_time;
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmsim_common::AddressRange;
+
+    fn machine() -> MachineConfig {
+        crate::harness::loaded_machine()
+    }
+
+    /// A heap with two 128 KiB objects in DDR and a 128 KiB MCDRAM budget.
+    fn two_object_heap(m: &MachineConfig) -> (ProcessHeap, AddressRange, AddressRange) {
+        let mut heap = ProcessHeap::new(m).unwrap();
+        heap.set_capacity_cap(TierId::MCDRAM, ByteSize::from_kib(128))
+            .unwrap();
+        let (_, hot, _) = heap
+            .malloc(
+                ByteSize::from_kib(128),
+                TierId::DDR,
+                "hot",
+                None,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        let (_, cold, _) = heap
+            .malloc(
+                ByteSize::from_kib(128),
+                TierId::DDR,
+                "cold",
+                None,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        (heap, hot, cold)
+    }
+
+    fn hammer(range: AddressRange, passes: u32) -> impl Iterator<Item = MemoryAccess> {
+        (0..passes).flat_map(move |_| {
+            let elements = range.len.bytes() / 8;
+            (0..elements).map(move |i| MemoryAccess::load(range.start.offset(i * 8), 8))
+        })
+    }
+
+    #[test]
+    fn runtime_promotes_the_hammered_object() {
+        let m = machine();
+        let (mut heap, hot, _) = two_object_heap(&m);
+        let cfg = OnlineConfig::default().with_epoch_accesses(16_384);
+        let mut rt = OnlineRuntime::new(&m, ByteSize::from_kib(128), cfg);
+        assert_eq!(rt.fast_tier(), TierId::MCDRAM);
+        let misses = rt.run(hammer(hot, 20), &mut heap);
+        assert!(misses > 0);
+        assert_eq!(heap.page_table().tier_of(hot.start), TierId::MCDRAM);
+        let s = rt.stats();
+        assert!(s.migrations >= 1);
+        assert_eq!(s.rejected_moves, 0);
+        assert!(s.samples > 0);
+        assert!(s.migration_time > Nanos::ZERO);
+        assert_eq!(s.epoch_log.len() as u64, s.epochs);
+        assert!(rt.total_time() > rt.engine_stats().time);
+        // Fast-tier traffic flows once the object has been promoted.
+        assert!(rt.engine_stats().tier_traffic.bytes(TierId::MCDRAM) > 0);
+    }
+
+    #[test]
+    fn disabled_runtime_never_touches_placement() {
+        let m = machine();
+        let (mut heap, hot, cold) = two_object_heap(&m);
+        let cfg = OnlineConfig::disabled().with_epoch_accesses(8_192);
+        let mut rt = OnlineRuntime::new(&m, ByteSize::from_kib(128), cfg);
+        rt.run(hammer(hot, 10).chain(hammer(cold, 2)), &mut heap);
+        assert_eq!(heap.page_table().tier_of(hot.start), TierId::DDR);
+        assert_eq!(heap.page_table().tier_of(cold.start), TierId::DDR);
+        assert_eq!(rt.stats().migrations, 0);
+        assert_eq!(rt.stats().migration_time, Nanos::ZERO);
+        assert_eq!(rt.total_time(), rt.engine_stats().time);
+    }
+
+    #[test]
+    fn migration_charges_accumulate_into_total_time() {
+        let m = machine();
+        let (mut heap, hot, cold) = two_object_heap(&m);
+        let cfg = OnlineConfig::default().with_epoch_accesses(16_384);
+        let mut rt = OnlineRuntime::new(&m, ByteSize::from_kib(128), cfg);
+        // Hammer A, then B: the hot set flips once, forcing a swap.
+        rt.run(hammer(hot, 12).chain(hammer(cold, 12)), &mut heap);
+        let s = rt.stats().clone();
+        assert!(
+            s.migrations >= 2,
+            "expected at least promote + swap, got {}",
+            s.migrations
+        );
+        let logged: f64 = s.epoch_log.iter().map(|e| e.migration_time.nanos()).sum();
+        assert!((logged - s.migration_time.nanos()).abs() < 1e-6);
+        let logged_bytes: u64 = s.epoch_log.iter().map(|e| e.bytes_moved).sum();
+        assert_eq!(logged_bytes, s.bytes_migrated.bytes());
+        // After the flip, the second object owns the fast tier.
+        assert_eq!(heap.page_table().tier_of(cold.start), TierId::MCDRAM);
+        assert_eq!(heap.page_table().tier_of(hot.start), TierId::DDR);
+    }
+}

@@ -27,7 +27,7 @@ fn main() {
             .with_iterations(10)
             .with_profiling(ProfilerConfig::default()),
     )
-    .execute(RouterFactory::ddr())
+    .execute(RouterFactory::ddr().unwrap())
     .expect("profiling run succeeds");
     let report = analyze_trace(run.trace.as_ref().unwrap());
 

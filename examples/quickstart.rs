@@ -38,7 +38,7 @@ fn main() {
 
     // Reference run: everything in DDR.
     let ddr = AppRun::new(&spec, RunConfig::flat(budget).with_iterations(10))
-        .execute(RouterFactory::ddr())
+        .execute(RouterFactory::ddr().unwrap())
         .expect("DDR run succeeds");
     println!(
         "[reference] DDR-only FOM          : {:.2} {}",

@@ -14,7 +14,10 @@
 //! * [`profiler`] (Extrae), [`analysis`] (Paramedir), [`advisor`]
 //!   (hmem_advisor) and [`autohbw`] (auto-hbwmalloc) — the four framework
 //!   stages;
-//! * [`apps`] — the eight workload models plus STREAM;
+//! * [`apps`] — the eight workload models plus STREAM and the phase-shifting
+//!   trace workloads;
+//! * [`runtime`] — the online placement runtime (epoch-driven PEBS-guided
+//!   object migration);
 //! * [`core`] — the end-to-end pipeline, the experiment grid and the
 //!   figure/table generators.
 //!
@@ -33,4 +36,5 @@ pub use hmsim_heap as heap;
 pub use hmsim_machine as machine;
 pub use hmsim_pebs as pebs;
 pub use hmsim_profiler as profiler;
+pub use hmsim_runtime as runtime;
 pub use hmsim_trace as trace;
