@@ -29,50 +29,75 @@ pub struct ExactSolution {
     pub total_weight_pages: u64,
     /// Number of DP cells evaluated (cost indicator for the ablation).
     pub cells_evaluated: u64,
+    /// Bytes allocated for the backtrack bitset (memory indicator; one *bit*
+    /// per DP cell of each eligible item, padded to 64-bit words per row).
+    pub backtrack_bytes: u64,
 }
 
-/// Maximum `items × capacity` product the exact solver will attempt
-/// (≈ 200 M cells keeps the worst case well under a second).
+/// Maximum number of evaluated DP cells — and backtrack bitset *bits* —
+/// the exact solver will attempt (≈ 200 M keeps the worst case well under a
+/// second and the backtrack allocation under 25 MB). Items wider than the
+/// knapsack evaluate no cells and count against neither bound.
 pub const MAX_DP_CELLS: u64 = 200_000_000;
 
 /// Solve the 0/1 knapsack exactly.
 pub fn solve_exact(items: &[Item], capacity_pages: u64) -> HmResult<ExactSolution> {
-    let n = items.len() as u64;
-    let cells = n.saturating_mul(capacity_pages + 1);
+    // Items wider than the knapsack can never be taken: they evaluate zero
+    // DP cells and need no backtrack row, so they count neither against the
+    // guard nor towards the bitset allocation.
+    let eligible: Vec<usize> = (0..items.len())
+        .filter(|&i| items[i].weight_pages <= capacity_pages)
+        .collect();
+    let cells: u64 = eligible
+        .iter()
+        .map(|&i| capacity_pages - items[i].weight_pages + 1)
+        .fold(0u64, u64::saturating_add);
     if cells > MAX_DP_CELLS {
         return Err(HmError::Config(format!(
             "exact knapsack would evaluate {cells} DP cells (> {MAX_DP_CELLS}); \
              use a greedy strategy for problems of this size"
         )));
     }
+    // The backtrack bitset holds one capacity-wide row per eligible item, so
+    // near-capacity weights evaluate few cells yet still allocate full rows;
+    // bound the allocation separately (at one bit per guard cell the bitset
+    // tops out at MAX_DP_CELLS/8 bytes, an eighth of the old byte matrix).
+    let bits = (eligible.len() as u64).saturating_mul(capacity_pages + 1);
+    if bits > MAX_DP_CELLS {
+        return Err(HmError::Config(format!(
+            "exact knapsack would allocate a {bits}-bit backtrack matrix \
+             (> {MAX_DP_CELLS}); use a greedy strategy for problems of this size"
+        )));
+    }
     let cap = capacity_pages as usize;
     // dp[w] = best value using items seen so far with weight exactly <= w.
     let mut dp = vec![0u64; cap + 1];
-    // keep[i][w] bitset: whether item i is taken at weight w in the optimum.
-    let mut keep: Vec<Vec<bool>> = Vec::with_capacity(items.len());
+    // Backtrack bitset: bit (row, w) records whether eligible item `row` is
+    // taken at residual weight w in the optimum. One bit per cell instead of
+    // the byte-per-cell `Vec<Vec<bool>>` this used to be.
+    let words_per_row = cap / 64 + 1;
+    let mut keep = vec![0u64; words_per_row * eligible.len()];
     let mut cells_evaluated = 0u64;
-    for item in items {
-        let mut taken = vec![false; cap + 1];
+    for (row, &i) in eligible.iter().enumerate() {
+        let item = &items[i];
         let w_item = item.weight_pages as usize;
-        if w_item <= cap {
-            for w in (w_item..=cap).rev() {
-                cells_evaluated += 1;
-                let candidate = dp[w - w_item] + item.value;
-                if candidate > dp[w] {
-                    dp[w] = candidate;
-                    taken[w] = true;
-                }
+        let row_words = &mut keep[row * words_per_row..(row + 1) * words_per_row];
+        for w in (w_item..=cap).rev() {
+            cells_evaluated += 1;
+            let candidate = dp[w - w_item] + item.value;
+            if candidate > dp[w] {
+                dp[w] = candidate;
+                row_words[w / 64] |= 1 << (w % 64);
             }
         }
-        keep.push(taken);
     }
     // Backtrack.
     let mut selected = Vec::new();
     let mut w = cap;
-    for (i, item) in items.iter().enumerate().rev() {
-        if keep[i][w] {
+    for (row, &i) in eligible.iter().enumerate().rev() {
+        if keep[row * words_per_row + w / 64] >> (w % 64) & 1 == 1 {
             selected.push(i);
-            w -= item.weight_pages as usize;
+            w -= items[i].weight_pages as usize;
         }
     }
     selected.reverse();
@@ -83,6 +108,7 @@ pub fn solve_exact(items: &[Item], capacity_pages: u64) -> HmResult<ExactSolutio
         total_value,
         total_weight_pages,
         cells_evaluated,
+        backtrack_bytes: keep.len() as u64 * 8,
     })
 }
 
@@ -169,6 +195,83 @@ mod tests {
         ];
         let err = solve_exact(&items, 1_000_000_000);
         assert!(err.is_err());
+    }
+
+    /// Near-capacity weights evaluate one cell each but still own a full
+    /// capacity-wide backtrack row: the memory bound must refuse what the
+    /// evaluated-cells bound alone would wave through.
+    #[test]
+    fn backtrack_memory_is_guarded_independently_of_evaluated_cells() {
+        let capacity: u64 = 150_000_000;
+        let items = vec![
+            Item {
+                weight_pages: capacity,
+                value: 1
+            };
+            2_000
+        ];
+        // Only 2 000 cells would be evaluated, but the bitset would span
+        // 2 000 × (capacity+1) bits ≫ MAX_DP_CELLS.
+        let err = solve_exact(&items, capacity);
+        assert!(err.is_err());
+        assert!(format!("{err:?}").contains("backtrack"), "{err:?}");
+    }
+
+    /// The guard counts cells actually evaluated: items wider than the
+    /// knapsack contribute nothing, so an instance whose `items × capacity`
+    /// product is far past `MAX_DP_CELLS` still solves when almost every
+    /// item is oversized — and its backtrack bitset is a sliver of the byte
+    /// matrix the old representation would have allocated.
+    #[test]
+    fn guard_counts_only_evaluated_cells_and_backtrack_is_packed() {
+        let capacity: u64 = 99_999;
+        let mut items = vec![
+            Item {
+                weight_pages: capacity + 1,
+                value: 1_000_000,
+            };
+            2_001
+        ];
+        items[1_000] = Item {
+            weight_pages: 1,
+            value: 7,
+        };
+        // items × (capacity+1) = 200.1 M > MAX_DP_CELLS, but only one item
+        // is eligible, so only `capacity` cells are evaluated.
+        assert!(items.len() as u64 * (capacity + 1) > MAX_DP_CELLS);
+        let sol = solve_exact(&items, capacity).unwrap();
+        assert_eq!(sol.selected, vec![1_000]);
+        assert_eq!(sol.total_value, 7);
+        assert_eq!(sol.cells_evaluated, capacity);
+        // One bitset row, word-padded: (99_999/64 + 1) words × 8 bytes.
+        assert_eq!(sol.backtrack_bytes, (capacity / 64 + 1) * 8);
+        // ≤ 1/8 of the byte-per-cell matrix the old backtrack allocated.
+        let old_backtrack_bytes = items.len() as u64 * (capacity + 1);
+        assert!(
+            sol.backtrack_bytes * 8 <= old_backtrack_bytes,
+            "bitset {} vs old matrix {}",
+            sol.backtrack_bytes,
+            old_backtrack_bytes
+        );
+    }
+
+    /// On a dense instance every eligible item owns one word-padded bitset
+    /// row; with the row width a multiple of 64 the packing is exactly one
+    /// eighth of the old byte matrix.
+    #[test]
+    fn dense_backtrack_allocates_an_eighth_of_the_byte_matrix() {
+        let capacity: u64 = 10_239; // capacity+1 = 10_240 = 160 words exactly
+        let mut rng = DetRng::new(0xb17_5e7);
+        let items: Vec<Item> = (0..64)
+            .map(|_| Item {
+                weight_pages: rng.uniform_range(1, 512),
+                value: rng.uniform_range(1, 1000),
+            })
+            .collect();
+        let sol = solve_exact(&items, capacity).unwrap();
+        let old_backtrack_bytes = items.len() as u64 * (capacity + 1);
+        assert_eq!(sol.backtrack_bytes * 8, old_backtrack_bytes);
+        assert!(sol.total_weight_pages <= capacity);
     }
 
     #[test]

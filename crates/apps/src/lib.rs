@@ -24,12 +24,14 @@
 
 pub mod apps;
 pub mod kernels;
+pub mod multirank;
 pub mod phased;
 pub mod registry;
 pub mod spec;
 pub mod stream;
 
 pub use kernels::TriadStream;
+pub use multirank::MultiRankWorkload;
 pub use phased::{phased_workload_by_name, phased_workloads, PhasedWorkload};
 pub use registry::{all_apps, app_by_name, validated_apps};
 pub use spec::{AllocTiming, AppSpec, KernelSpec, ObjectSpec};

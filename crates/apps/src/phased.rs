@@ -218,12 +218,13 @@ impl PhasedWorkload {
 
     /// The access stream over the ranges the heap assigned to
     /// [`objects`](Self::objects) (same order). Lazy: O(1) state regardless
-    /// of workload size.
+    /// of workload size. The iterator is `Send` so per-rank shards can fan
+    /// out over worker threads.
     ///
     /// # Panics
     ///
     /// Panics if `ranges` does not have one range per declared object.
-    pub fn stream(&self, ranges: &[AddressRange]) -> Box<dyn Iterator<Item = MemoryAccess>> {
+    pub fn stream(&self, ranges: &[AddressRange]) -> Box<dyn Iterator<Item = MemoryAccess> + Send> {
         assert_eq!(
             ranges.len(),
             self.objects().len(),

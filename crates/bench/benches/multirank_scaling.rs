@@ -1,0 +1,241 @@
+//! Multi-rank sharded simulation: shard fan-out scaling and arbitration
+//! policy quality, recorded in `BENCH_multirank.json`.
+//!
+//! Two questions:
+//!
+//! 1. **Does sharding scale?** The same R-rank bundle is simulated with the
+//!    observation half of every epoch fanned out over worker threads and
+//!    with it forced serial; identical results are asserted (the arbitration
+//!    half is serial and deterministic either way), and the wall-clock ratio
+//!    is the shard fan-out speedup.
+//! 2. **Do the arbitration policies separate?** On the rank-skew triad
+//!    (rank 0's working set dominates the node) the node-global selection
+//!    must beat the static per-rank partition — the partition strands fast
+//!    memory on the small ranks while starving the dominant one. FCFS rides
+//!    along as the numactl/first-touch model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmsim_apps::{MultiRankWorkload, PhasedWorkload};
+use hmsim_common::ByteSize;
+use hmsim_runtime::harness::{loaded_machine, provision};
+use hmsim_runtime::{
+    run_multirank, ArbiterPolicy, MultiRankConfig, MultiRankOutcome, OnlineConfig, OnlineRuntime,
+};
+use std::time::Instant;
+
+fn online_cfg() -> OnlineConfig {
+    OnlineConfig::default().with_epoch_accesses(16_384)
+}
+
+/// Gate before any timing: with one rank the sharded path must reproduce
+/// the single-rank runtime bit for bit, whatever the policy.
+fn assert_single_rank_equivalence(array: ByteSize) {
+    let machine = loaded_machine();
+    let w = PhasedWorkload::steady_triad(array, 20);
+    let budget = w.hot_set_size();
+    let mut side = provision(&w, &machine, budget).unwrap();
+    let mut single = OnlineRuntime::new(&machine, budget, online_cfg());
+    single.run(w.stream(&side.ranges), &mut side.heap);
+    for policy in ArbiterPolicy::ALL {
+        let bundle = MultiRankWorkload::replicated(w.clone(), 1);
+        let cfg = MultiRankConfig::new(policy, budget).with_online(online_cfg());
+        let out = run_multirank(&bundle, &machine, cfg).unwrap();
+        assert_eq!(
+            out.per_rank[0].engine.counters,
+            single.engine_stats().counters,
+            "{policy}: sharded path diverged from the single-rank engine"
+        );
+        assert_eq!(
+            out.per_rank[0].time.nanos().to_bits(),
+            single.total_time().nanos().to_bits(),
+            "{policy}: simulated time diverged"
+        );
+    }
+}
+
+/// Wall-clock of one full multi-rank run (provision + epoch loop).
+fn wall_ms(workload: &MultiRankWorkload, cfg: &MultiRankConfig, reps: usize) -> f64 {
+    let machine = loaded_machine();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = run_multirank(workload, &machine, cfg.clone()).unwrap();
+        assert!(out.total_misses() > 0);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+struct PolicyRow {
+    policy: ArbiterPolicy,
+    outcome: MultiRankOutcome,
+}
+
+fn json_policy(row: &PolicyRow) -> String {
+    let o = &row.outcome;
+    let dominant = &o.per_rank[0];
+    let tail_ms = o
+        .per_rank
+        .iter()
+        .skip(1)
+        .map(|r| r.time.millis())
+        .fold(0.0f64, f64::max);
+    format!(
+        "      \"{}\": {{\n        \"node_time_ms\": {:.3},\n        \"dominant_rank_time_ms\": {:.3},\n        \"worst_small_rank_time_ms\": {:.3},\n        \"migrations\": {},\n        \"bytes_moved_kib\": {},\n        \"node_epochs\": {}\n      }}",
+        row.policy,
+        o.node_time().millis(),
+        dominant.time.millis(),
+        tail_ms,
+        o.total_migrations(),
+        o.per_rank
+            .iter()
+            .map(|r| r.stats.bytes_migrated.bytes())
+            .sum::<u64>()
+            / 1024,
+        o.node_epochs
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_baseline(
+    ranks: u32,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    fanout_speedup: f64,
+    skew_budget: ByteSize,
+    rows: &[PolicyRow],
+    global_vs_partition: f64,
+) {
+    let policies = rows.iter().map(json_policy).collect::<Vec<_>>().join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"multirank_scaling\",\n  \"machine\": \"loaded tiny_test (DDR 320ns / MCDRAM 180ns loaded latencies)\",\n  \"headline_fanout_speedup\": {fanout_speedup:.2},\n  \"headline_global_vs_partition\": {global_vs_partition:.3},\n  \"fanout\": {{\n    \"ranks\": {ranks},\n    \"worker_threads\": {threads},\n    \"serial_ms\": {serial_ms:.1},\n    \"parallel_ms\": {parallel_ms:.1},\n    \"speedup\": {fanout_speedup:.2}\n  }},\n  \"rank_skew\": {{\n    \"ranks\": 4,\n    \"skew\": 4,\n    \"node_budget_kib\": {},\n    \"policies\": {{\n{policies}\n    }}\n  }}\n}}\n",
+        skew_budget.bytes() / 1024
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multirank.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}:\n{json}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench_multirank_scaling(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (array, passes, reps) = if test_mode {
+        (ByteSize::from_kib(16), 8, 1)
+    } else {
+        (ByteSize::from_kib(128), 30, 3)
+    };
+
+    assert_single_rank_equivalence(array);
+
+    // ---- shard fan-out scaling: R replicated triads, parallel vs serial.
+    let fan_ranks = 8u32;
+    let fan = MultiRankWorkload::replicated(PhasedWorkload::steady_triad(array, passes), fan_ranks);
+    // Per-rank hot sets fit their partition share: pure scaling measurement.
+    let fan_budget = fan.node_hot_set();
+    let base_cfg =
+        MultiRankConfig::new(ArbiterPolicy::Partition, fan_budget).with_online(online_cfg());
+    {
+        // Identical results serial vs parallel, asserted before timing.
+        let machine = loaded_machine();
+        let par = run_multirank(&fan, &machine, base_cfg.clone()).unwrap();
+        let ser = run_multirank(&fan, &machine, base_cfg.clone().serial()).unwrap();
+        for (a, b) in par.per_rank.iter().zip(&ser.per_rank) {
+            assert_eq!(a.engine.counters, b.engine.counters);
+            assert_eq!(a.time.nanos().to_bits(), b.time.nanos().to_bits());
+        }
+    }
+    let serial_ms = wall_ms(&fan, &base_cfg.clone().serial(), reps);
+    let parallel_ms = wall_ms(&fan, &base_cfg, reps);
+    let fanout_speedup = serial_ms / parallel_ms.max(1e-9);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "fan-out over {fan_ranks} ranks: serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms \
+         -> {fanout_speedup:.2}x on {threads} threads"
+    );
+
+    // ---- arbitration quality on the rank-skew triad.
+    let skew = MultiRankWorkload::rank_skew_triad(array, 4, 4, passes);
+    // Enough for every small rank plus two thirds of the dominant one;
+    // the static partition caps every rank at a quarter of it.
+    let skew_budget = ByteSize::from_bytes(array.bytes() * 18);
+    let machine = loaded_machine();
+    let rows: Vec<PolicyRow> = ArbiterPolicy::ALL
+        .iter()
+        .map(|&policy| {
+            let cfg = MultiRankConfig::new(policy, skew_budget).with_online(online_cfg());
+            let outcome = run_multirank(&skew, &machine, cfg).unwrap();
+            println!(
+                "rank-skew/{policy}: node {:.3} ms (dominant {:.3} ms), {} moves, {} epochs",
+                outcome.node_time().millis(),
+                outcome.per_rank[0].time.millis(),
+                outcome.total_migrations(),
+                outcome.node_epochs
+            );
+            PolicyRow { policy, outcome }
+        })
+        .collect();
+    let node_ms = |p: ArbiterPolicy| {
+        rows.iter()
+            .find(|r| r.policy == p)
+            .map(|r| r.outcome.node_time().millis())
+            .unwrap()
+    };
+    let global_vs_partition = node_ms(ArbiterPolicy::Partition) / node_ms(ArbiterPolicy::Global);
+
+    if !test_mode {
+        // Acceptance criteria, enforced at bench scale: the node-global
+        // selection must beat the static per-rank partition on rank skew,
+        // and the fan-out must actually scale when cores are available.
+        assert!(
+            global_vs_partition > 1.0,
+            "global ({:.3} ms) must beat partition ({:.3} ms) on rank skew",
+            node_ms(ArbiterPolicy::Global),
+            node_ms(ArbiterPolicy::Partition)
+        );
+        if threads >= 4 {
+            assert!(
+                fanout_speedup > 1.3,
+                "shard fan-out speedup {fanout_speedup:.2}x on {threads} threads"
+            );
+        }
+        write_baseline(
+            fan_ranks,
+            threads,
+            serial_ms,
+            parallel_ms,
+            fanout_speedup,
+            skew_budget,
+            &rows,
+            global_vs_partition,
+        );
+    }
+
+    // Criterion series: the sharded runtime under each policy.
+    let mut group = c.benchmark_group("multirank_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(skew.total_accesses()));
+    for policy in ArbiterPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("rank_skew", policy),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let cfg = MultiRankConfig::new(policy, skew_budget).with_online(online_cfg());
+                    run_multirank(&skew, &machine, cfg).unwrap().total_misses()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_multirank_scaling
+}
+criterion_main!(benches);

@@ -16,5 +16,12 @@
 //! | `engine_throughput` | trace-engine hot path, naive vs optimized (`BENCH_engine.json`) |
 //! | `trace_io` | binary trace parse/fold throughput (`BENCH_trace.json`) |
 //! | `runtime_migration` | online migration runtime vs best static placement (`BENCH_runtime.json`) |
+//! | `multirank_scaling` | rank-sharded runtime: fan-out scaling + arbitration policies (`BENCH_multirank.json`) |
+//!
+//! The [`schema`] module validates every `BENCH_*.json` artifact (CI's
+//! schema-check step) so a broken bench writer fails the pipeline instead of
+//! silently shipping garbage baselines.
+
+pub mod schema;
 
 pub use hmem_core as core;

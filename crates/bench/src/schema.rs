@@ -1,0 +1,366 @@
+//! Schema check for the `BENCH_*.json` tracking artifacts.
+//!
+//! Every bench target that writes a baseline file at the workspace root is
+//! registered here with the headline keys its JSON must carry. CI runs
+//! [`validate_bench_dir`] after the bench smoke, so a bench writer that
+//! emits malformed JSON (string formatting is hand-rolled — no serde in the
+//! offline build) or silently drops a headline metric fails the pipeline
+//! instead of shipping garbage baselines.
+//!
+//! The parser is a deliberately small recursive-descent JSON reader: it
+//! accepts exactly the JSON the writers emit (objects, arrays, strings with
+//! `\`-escapes, numbers, booleans, null) and rejects everything else.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// An object; insertion order is irrelevant for validation.
+    Object(BTreeMap<String, Json>),
+    /// An array.
+    Array(Vec<Json>),
+    /// A string.
+    Str(String),
+    /// A number (f64, as JSON numbers are).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// null.
+    Null,
+}
+
+impl Json {
+    /// The object's entry for `key`, if this is an object and the key exists.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str upstream,
+                    // so boundaries are valid).
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("malformed number '{text}' at byte {start}"))?;
+        if !n.is_finite() {
+            return Err(format!("non-finite number '{text}' at byte {start}"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+/// Parse a complete JSON document (trailing garbage is an error).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after the JSON document"));
+    }
+    Ok(v)
+}
+
+/// The registered benchmark artifacts: file name → (expected `"bench"`
+/// value, headline keys the top-level object must carry).
+pub const EXPECTED: &[(&str, &str, &[&str])] = &[
+    (
+        "BENCH_engine.json",
+        "engine_throughput",
+        &["headline_speedup", "workloads"],
+    ),
+    (
+        "BENCH_trace.json",
+        "trace_io",
+        &["binary_parse_speedup", "folding"],
+    ),
+    (
+        "BENCH_runtime.json",
+        "runtime_migration",
+        &[
+            "headline_online_speedup",
+            "epoch_overhead_percent",
+            "workloads",
+        ],
+    ),
+    (
+        "BENCH_multirank.json",
+        "multirank_scaling",
+        &[
+            "headline_fanout_speedup",
+            "headline_global_vs_partition",
+            "rank_skew",
+        ],
+    ),
+];
+
+/// Validate one artifact's parsed document against its registration.
+pub fn validate_document(name: &str, doc: &Json) -> Result<(), String> {
+    let Some((_, bench, keys)) = EXPECTED.iter().find(|(n, _, _)| *n == name) else {
+        return Err(format!(
+            "{name}: unregistered bench artifact — add its headline keys to \
+             hmsim_bench::schema::EXPECTED"
+        ));
+    };
+    match doc.get("bench") {
+        Some(Json::Str(s)) if s == bench => {}
+        other => {
+            return Err(format!(
+                "{name}: top-level \"bench\" must be \"{bench}\", found {other:?}"
+            ))
+        }
+    }
+    for key in *keys {
+        if doc.get(key).is_none() {
+            return Err(format!("{name}: missing headline key \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+/// Validate every `BENCH_*.json` in `dir`: each must parse as JSON and carry
+/// its registered headline keys, and every registered artifact must exist.
+/// Returns the validated file names.
+pub fn validate_bench_dir(dir: &Path) -> Result<Vec<String>, String> {
+    let mut validated = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir:?}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {dir:?}: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| format!("{name}: unreadable: {e}"))?;
+        let doc = parse_json(&text).map_err(|e| format!("{name}: {e}"))?;
+        validate_document(&name, &doc)?;
+        validated.push(name);
+    }
+    validated.sort();
+    for (name, _, _) in EXPECTED {
+        if !validated.iter().any(|v| v == name) {
+            return Err(format!(
+                "registered artifact {name} is missing from {dir:?}"
+            ));
+        }
+    }
+    Ok(validated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_the_shapes_the_writers_emit() {
+        let doc = parse_json(
+            "{\n  \"bench\": \"x\",\n  \"n\": -3.25e2,\n  \"ok\": true,\n  \
+             \"list\": [1, \"two\\n\", null],\n  \"nested\": {\"a\": {}}\n}",
+        )
+        .unwrap();
+        assert_eq!(doc.get("bench"), Some(&Json::Str("x".into())));
+        assert_eq!(doc.get("n"), Some(&Json::Num(-325.0)));
+        assert!(matches!(doc.get("list"), Some(Json::Array(v)) if v.len() == 3));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("{\"a\": 1,}").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("{\"a\": 1").is_err());
+        assert!(parse_json("{\"a\": 1e999}").is_err(), "infinite number");
+    }
+
+    #[test]
+    fn validation_requires_the_headline_keys() {
+        let good = parse_json(
+            "{\"bench\": \"trace_io\", \"binary_parse_speedup\": 14.0, \"folding\": {}}",
+        )
+        .unwrap();
+        validate_document("BENCH_trace.json", &good).unwrap();
+
+        let wrong_bench = parse_json("{\"bench\": \"oops\", \"binary_parse_speedup\": 1}").unwrap();
+        assert!(validate_document("BENCH_trace.json", &wrong_bench).is_err());
+
+        let missing = parse_json("{\"bench\": \"trace_io\", \"folding\": {}}").unwrap();
+        let err = validate_document("BENCH_trace.json", &missing).unwrap_err();
+        assert!(err.contains("binary_parse_speedup"), "{err}");
+
+        let unregistered = parse_json("{\"bench\": \"new\"}").unwrap();
+        assert!(validate_document("BENCH_new.json", &unregistered).is_err());
+    }
+
+    /// The committed artifacts at the workspace root must always validate —
+    /// this is the test CI's schema-check step runs after the bench smoke.
+    #[test]
+    fn schema_of_committed_bench_artifacts() {
+        let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let validated = validate_bench_dir(root).expect("bench artifacts validate");
+        assert_eq!(validated.len(), EXPECTED.len(), "{validated:?}");
+    }
+}

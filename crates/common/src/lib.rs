@@ -16,6 +16,8 @@
 //!   percentile helpers used by the profiler, the allocators and the
 //!   experiment driver;
 //! * [`error`] — the shared error type;
+//! * [`par`] — the scoped-thread work-sharing fan-out used by the experiment
+//!   grid and the multi-rank shard runner;
 //! * [`table`] — plain-text table/CSV rendering used to print the paper's
 //!   tables and figure series.
 
@@ -24,6 +26,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -31,6 +34,7 @@ pub mod units;
 
 pub use error::{HmError, HmResult};
 pub use ids::{CoreId, ObjectId, RankId, SiteId, ThreadId, TierId};
+pub use par::parallel_map;
 pub use rng::DetRng;
 pub use stats::{HighWaterMark, Histogram, RunningStats};
 pub use units::{Address, AddressRange, ByteSize, Cycles, Nanos, Page, PAGE_SIZE};

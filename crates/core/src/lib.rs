@@ -23,8 +23,15 @@
 pub mod experiment;
 pub mod figures;
 pub mod metrics;
-pub mod par;
 pub mod pipeline;
+
+/// Scoped-thread work sharing for independent simulation runs. The
+/// implementation lives in `hmsim_common` so lower layers (the multi-rank
+/// shard runner in `hmsim-runtime`) can share it; this alias keeps the
+/// historical `hmem_core::parallel_map` path working.
+pub mod par {
+    pub use hmsim_common::parallel_map;
+}
 pub mod report;
 pub mod simrun;
 

@@ -17,7 +17,10 @@ use hmsim_machine::{
     AnalyticEngine, MachineConfig, MemoryMode, ObjectTraffic, PerfCounters, PhaseProfile, Placement,
 };
 use hmsim_profiler::{Profiler, ProfilerConfig};
-use hmsim_runtime::{MigrationCostModel, ObjectPlacement, OnlineConfig, PlacementController};
+use hmsim_runtime::{
+    ArbiterPolicy, MigrationCostModel, NodeArbiter, ObjectPlacement, OnlineConfig,
+    PlacementController,
+};
 use hmsim_trace::{TraceFile, TraceMetadata};
 use std::collections::HashMap;
 
@@ -38,6 +41,15 @@ pub struct RunConfig {
     /// under [`PlacementApproach::Online`] (None = defaults). The analytic
     /// runner treats one main-loop iteration as one epoch.
     pub online: Option<OnlineConfig>,
+    /// How the node-level MCDRAM pool (`mcdram_capacity × ranks`) is
+    /// arbitrated between ranks for online runs. The per-epoch migration
+    /// budget is drawn from a [`NodeArbiter`] rather than the raw per-rank
+    /// capacity; the default static partition hands every rank exactly
+    /// `mcdram_capacity` back, reproducing the per-rank budgets of the
+    /// Figure-4 grid. The analytic runner models one process with symmetric
+    /// peers — asymmetric (rank-skew) arbitration lives in the trace-driven
+    /// multi-rank runner (`hmsim_runtime::multirank`).
+    pub rank_policy: ArbiterPolicy,
     /// Master seed.
     pub seed: u64,
 }
@@ -52,6 +64,7 @@ impl RunConfig {
             iterations_override: None,
             profile: None,
             online: None,
+            rank_policy: ArbiterPolicy::default(),
             seed: 0xC0FFEE,
         }
     }
@@ -64,6 +77,7 @@ impl RunConfig {
             iterations_override: None,
             profile: None,
             online: None,
+            rank_policy: ArbiterPolicy::default(),
             seed: 0xC0FFEE,
         }
     }
@@ -83,6 +97,12 @@ impl RunConfig {
     /// Configure the online migration runtime for this run.
     pub fn with_online(mut self, online: OnlineConfig) -> Self {
         self.online = Some(online);
+        self
+    }
+
+    /// Choose how the node-level MCDRAM pool is arbitrated between ranks.
+    pub fn with_rank_policy(mut self, policy: ArbiterPolicy) -> Self {
+        self.rank_policy = policy;
         self
     }
 }
@@ -224,11 +244,18 @@ impl<'a> AppRun<'a> {
 
         // The online migration runtime: the controller re-plans placement
         // after every main-loop iteration (the analytic engine's natural
-        // epoch), and every move is charged bytes × per-tier bandwidth.
+        // epoch), and every move is charged bytes × per-tier bandwidth. The
+        // per-epoch budget is drawn from the node arbiter over the whole
+        // node's MCDRAM pool rather than taken as a fixed per-process
+        // number; under the default static partition the arbiter hands back
+        // exactly `mcdram_capacity` every epoch.
         let mut online = (router.approach() == PlacementApproach::Online).then(|| {
             let cfg = self.config.online.clone().unwrap_or_default();
             let cost = MigrationCostModel::with_streams(machine, cfg.migration_streams);
-            (PlacementController::new(cfg), cost)
+            let ranks = spec.ranks.max(1);
+            let node_pool = self.config.mcdram_capacity * u64::from(ranks);
+            let arbiter = NodeArbiter::new(self.config.rank_policy, node_pool, ranks);
+            (PlacementController::new(cfg), cost, arbiter)
         });
         let mut migration_time = Nanos::ZERO;
         let mut migrations = 0u64;
@@ -473,12 +500,13 @@ impl<'a> AppRun<'a> {
             // execute the migration delta. The moved bytes are charged at
             // per-tier bandwidth and serialise into the loop time, exactly
             // like allocator overhead does.
-            if let Some((controller, cost_model)) = online.as_mut() {
+            if let Some((controller, cost_model, arbiter)) = online.as_mut() {
                 for (id, misses) in iter_heat.drain() {
                     controller.record(id, misses as f64);
                 }
                 let live = ObjectPlacement::snapshot_live(&heap);
-                let plan = controller.end_epoch(&live, TierId::MCDRAM, self.config.mcdram_capacity);
+                let epoch_budget = arbiter.analytic_budget(heap.tier_occupancy(TierId::MCDRAM));
+                let plan = controller.end_epoch(&live, TierId::MCDRAM, epoch_budget);
                 let mut epoch_cost = Nanos::ZERO;
                 for (ids, to) in [
                     (&plan.demotions, TierId::DDR),
@@ -675,6 +703,34 @@ mod tests {
         // Static approaches never migrate.
         assert_eq!(ddr.migrations, 0);
         assert_eq!(ddr.migration_time, Nanos::ZERO);
+    }
+
+    #[test]
+    fn rank_policies_wire_through_online_runs() {
+        // The analytic runner models one process with symmetric peer ranks,
+        // so every arbitration policy resolves to the same per-epoch budget
+        // (the partition share) — bitwise. The wiring still matters: the
+        // budget is drawn from the NodeArbiter each epoch, and the
+        // trace-driven multi-rank runner shares the same arbiter for the
+        // asymmetric cases.
+        let spec = app_by_name("miniFE").unwrap();
+        let base = RunConfig::flat(ByteSize::from_mib(256)).with_iterations(8);
+        let reference = AppRun::new(&spec, base.clone())
+            .execute(RouterFactory::online().unwrap())
+            .unwrap();
+        assert!(reference.migrations > 0);
+        for policy in hmsim_runtime::ArbiterPolicy::ALL {
+            let run = AppRun::new(&spec, base.clone().with_rank_policy(policy))
+                .execute(RouterFactory::online().unwrap())
+                .unwrap();
+            assert_eq!(
+                run.fom.to_bits(),
+                reference.fom.to_bits(),
+                "{policy}: symmetric ranks must make every policy equivalent"
+            );
+            assert_eq!(run.migrations, reference.migrations, "{policy}");
+            assert!(run.mcdram_hwm <= ByteSize::from_mib(256), "{policy}");
+        }
     }
 
     #[test]

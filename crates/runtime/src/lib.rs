@@ -23,17 +23,31 @@
 //! `hmem-core` drives the same [`PlacementController`] from the analytical
 //! engine, with one application iteration as its epoch, which is how
 //! `PlacementApproach::Online` joins the Figure-4 experiment grid.
+//!
+//! The [`multirank`] module scales the loop from one process to a node: R
+//! independent shards (engine + heap + sampler per rank) advance in
+//! lock-step epochs under a shared fast-tier budget split by the
+//! [`arbiter`]'s policies — FCFS (`numactl`/first-touch), static per-rank
+//! partition (the paper's deployment mode) or a node-global selection over
+//! heat merged across ranks. With one rank every policy collapses to
+//! [`OnlineRuntime`] bitwise.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arbiter;
 pub mod config;
 pub mod controller;
 pub mod cost;
 pub mod harness;
+pub mod multirank;
 pub mod runtime;
 
+pub use arbiter::{ArbiterPolicy, NodeArbiter};
 pub use config::OnlineConfig;
 pub use controller::{EpochPlan, ObjectPlacement, PlacementController};
 pub use cost::MigrationCostModel;
+pub use multirank::{
+    run_multirank, MultiRankConfig, MultiRankOutcome, MultiRankRuntime, RankOutcome,
+};
 pub use runtime::{EpochRecord, OnlineRuntime, RuntimeStats};

@@ -1,0 +1,542 @@
+//! The rank-sharded simulation path.
+//!
+//! An MPI run is R independent processes sharing one node; this module
+//! simulates it as R independent shards — each with its own
+//! [`TraceEngine`](hmsim_machine::TraceEngine), [`ProcessHeap`] and PEBS
+//! sampler, wrapped in an [`OnlineRuntime`] — advancing in lock-step epochs
+//! under a shared node-level fast-tier budget enforced by the
+//! [`NodeArbiter`].
+//!
+//! Each node epoch has two halves:
+//!
+//! 1. **observe** (parallel) — every active shard drives its next window of
+//!    accesses through its own engine while its sampler watches the miss
+//!    stream; shards are independent, so this half fans out over worker
+//!    threads via `parallel_map` (re-exported as `hmem_core::parallel_map`);
+//! 2. **arbitrate + commit** (serial, deterministic) — the arbiter hands
+//!    each rank its budget and the shards execute their migration deltas in
+//!    rank order. Under [`ArbiterPolicy::Global`] the per-rank samples are
+//!    first time-ordered across ranks through the trace crate's k-way
+//!    [`MergedStream`] and folded into one node-wide heat map, and a single
+//!    controller packs one knapsack spanning every rank's objects.
+//!
+//! With one rank the epoch schedule, budgets and plans collapse to exactly
+//! what [`OnlineRuntime::run`] does, whatever the policy — the
+//! `multirank_equivalence` integration test pins that bitwise.
+
+use crate::arbiter::{ArbiterPolicy, NodeArbiter};
+use crate::controller::{EpochPlan, ObjectPlacement, PlacementController};
+use crate::harness::provision;
+use crate::{OnlineConfig, OnlineRuntime, RuntimeStats};
+use hmsim_apps::MultiRankWorkload;
+use hmsim_common::{parallel_map, ByteSize, HmResult, Nanos, ObjectId, TierId};
+use hmsim_heap::ProcessHeap;
+use hmsim_machine::{EngineStats, MachineConfig, MemoryAccess};
+use hmsim_pebs::RawSample;
+use hmsim_trace::{MergedStream, SampleRecord, TraceEvent};
+
+/// Per-rank object ids are globalized by offsetting with the rank so one
+/// controller can plan across every shard's objects. Rank 0 keeps its ids
+/// unchanged, which is what makes the single-rank global path bitwise
+/// identical to the per-rank controller.
+const RANK_ID_STRIDE: u32 = 1 << 22;
+
+fn global_id(rank: u32, id: ObjectId) -> ObjectId {
+    debug_assert!(id.0 < RANK_ID_STRIDE, "object id overflows the rank stride");
+    debug_assert!(
+        rank < u32::MAX / RANK_ID_STRIDE,
+        "rank {rank} overflows the globalized id space"
+    );
+    ObjectId(rank * RANK_ID_STRIDE + id.0)
+}
+
+fn split_global_id(id: ObjectId) -> (u32, ObjectId) {
+    (id.0 / RANK_ID_STRIDE, ObjectId(id.0 % RANK_ID_STRIDE))
+}
+
+/// Configuration of one multi-rank run.
+#[derive(Clone, Debug)]
+pub struct MultiRankConfig {
+    /// How the node-level fast-tier budget is arbitrated between ranks.
+    pub policy: ArbiterPolicy,
+    /// The *node's* fast-tier budget, shared by every rank.
+    pub node_fast_budget: ByteSize,
+    /// Per-shard epoch-loop knobs. Shard r's sampler is seeded with
+    /// `online.seed + r`, so rank 0 reproduces the single-rank runtime.
+    pub online: OnlineConfig,
+    /// Fan the observation half of each epoch out over worker threads
+    /// (`false` = serial reference, used by the scaling bench).
+    pub parallel: bool,
+}
+
+impl MultiRankConfig {
+    /// A configuration with default epoch knobs.
+    pub fn new(policy: ArbiterPolicy, node_fast_budget: ByteSize) -> Self {
+        MultiRankConfig {
+            policy,
+            node_fast_budget,
+            online: OnlineConfig::default(),
+            parallel: true,
+        }
+    }
+
+    /// Override the epoch-loop knobs.
+    pub fn with_online(mut self, online: OnlineConfig) -> Self {
+        self.online = online;
+        self
+    }
+
+    /// Disable the shard fan-out (serial reference).
+    pub fn serial(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+/// What one rank's shard did.
+#[derive(Clone, Debug)]
+pub struct RankOutcome {
+    /// The rank.
+    pub rank: u32,
+    /// The shard's simulated time: engine execution estimate plus every
+    /// migration charge.
+    pub time: Nanos,
+    /// LLC misses of the shard.
+    pub llc_misses: u64,
+    /// The shard engine's accumulated statistics.
+    pub engine: EngineStats,
+    /// The shard runtime's statistics (epochs, migrations, bytes moved).
+    pub stats: RuntimeStats,
+}
+
+/// Outcome of one multi-rank run.
+#[derive(Clone, Debug)]
+pub struct MultiRankOutcome {
+    /// The policy that arbitrated the fast tier.
+    pub policy: ArbiterPolicy,
+    /// Per-rank outcomes, rank order.
+    pub per_rank: Vec<RankOutcome>,
+    /// Node epochs executed (windows in which at least one shard ran).
+    pub node_epochs: u64,
+}
+
+impl MultiRankOutcome {
+    /// The node's wall-clock estimate: ranks of an MPI application
+    /// synchronize, so the slowest shard is the node (BSP assumption).
+    pub fn node_time(&self) -> Nanos {
+        self.per_rank
+            .iter()
+            .map(|r| r.time)
+            .fold(Nanos::ZERO, Nanos::max)
+    }
+
+    /// Total LLC misses over all ranks.
+    pub fn total_misses(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.llc_misses).sum()
+    }
+
+    /// Total migrations over all ranks.
+    pub fn total_migrations(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.stats.migrations).sum()
+    }
+}
+
+/// One rank's shard: an independent engine + sampler + heap advancing its
+/// own access stream.
+struct Shard {
+    rank: u32,
+    rt: OnlineRuntime,
+    heap: ProcessHeap,
+    stream: Box<dyn Iterator<Item = MemoryAccess> + Send>,
+    /// Scratch buffer holding the current epoch's samples (reused).
+    samples: Vec<RawSample>,
+    /// Rank-prefixed object names for the global planner's deterministic
+    /// tie-breaking, computed once at provisioning instead of re-formatted
+    /// every epoch (objects allocated later fall back to formatting).
+    global_names: std::collections::HashMap<ObjectId, String>,
+    done: bool,
+}
+
+/// The epoch-lock-stepped multi-rank driver.
+pub struct MultiRankRuntime {
+    shards: Vec<Shard>,
+    arbiter: NodeArbiter,
+    /// The node-spanning controller (global policy only).
+    global: Option<PlacementController>,
+    epoch_len: u64,
+    parallel: bool,
+    fast_tier: TierId,
+    node_epochs: u64,
+}
+
+impl MultiRankRuntime {
+    /// Provision one shard per rank of `workload` on `machine`: every
+    /// object starts in DDR and each shard's heap is capped at the
+    /// arbiter's per-rank maximum.
+    pub fn new(
+        workload: &MultiRankWorkload,
+        machine: &MachineConfig,
+        cfg: MultiRankConfig,
+    ) -> HmResult<Self> {
+        let ranks = workload.ranks();
+        let arbiter = NodeArbiter::new(cfg.policy, cfg.node_fast_budget, ranks);
+        let mut shards = Vec::with_capacity(ranks as usize);
+        let mut fast_tier = TierId::MCDRAM;
+        for rank in 0..ranks {
+            let w = workload.rank(rank);
+            let p = provision(w, machine, arbiter.rank_cap())?;
+            let mut shard_cfg = cfg.online.clone();
+            shard_cfg.seed = cfg.online.seed + u64::from(rank);
+            let rt = OnlineRuntime::new(machine, arbiter.partition_share(), shard_cfg);
+            fast_tier = rt.fast_tier();
+            let stream = w.stream(&p.ranges);
+            let global_names = p
+                .ids
+                .iter()
+                .filter_map(|id| {
+                    let obj = p.heap.registry().get(*id)?;
+                    Some((*id, format!("r{rank:04}/{}", obj.name)))
+                })
+                .collect();
+            shards.push(Shard {
+                rank,
+                rt,
+                heap: p.heap,
+                stream,
+                samples: Vec::new(),
+                global_names,
+                done: false,
+            });
+        }
+        let global = matches!(cfg.policy, ArbiterPolicy::Global)
+            .then(|| PlacementController::new(cfg.online.clone()));
+        Ok(MultiRankRuntime {
+            shards,
+            arbiter,
+            global,
+            epoch_len: cfg.online.epoch_accesses,
+            parallel: cfg.parallel,
+            fast_tier,
+            node_epochs: 0,
+        })
+    }
+
+    /// The arbiter governing the node's fast tier.
+    pub fn arbiter(&self) -> &NodeArbiter {
+        &self.arbiter
+    }
+
+    /// Drive every shard to the end of its stream, arbitrating the fast
+    /// tier at every epoch boundary, and return the outcome.
+    pub fn run(mut self) -> MultiRankOutcome {
+        while self.step() {}
+        let policy = self.arbiter.policy();
+        let per_rank = self
+            .shards
+            .into_iter()
+            .map(|s| RankOutcome {
+                rank: s.rank,
+                time: s.rt.total_time(),
+                llc_misses: s.rt.engine_stats().counters.llc_misses,
+                engine: s.rt.engine_stats().clone(),
+                stats: s.rt.stats().clone(),
+            })
+            .collect();
+        MultiRankOutcome {
+            policy,
+            per_rank,
+            node_epochs: self.node_epochs,
+        }
+    }
+
+    /// One node epoch: parallel observation, serial arbitration. Returns
+    /// `false` once every shard has drained its stream.
+    fn step(&mut self) -> bool {
+        let active: Vec<&mut Shard> = self.shards.iter_mut().filter(|s| !s.done).collect();
+        if active.is_empty() {
+            return false;
+        }
+        // Observation half: shards are independent; fan them out. Results
+        // come back in input (= rank) order; each shard's samples land in
+        // its own reused scratch buffer.
+        let observe = |s: &mut Shard| {
+            let consumed = s.rt.observe_epoch(&mut *s.stream, &s.heap, &mut s.samples);
+            (s.rank, consumed)
+        };
+        let observed: Vec<(u32, u64)> = if self.parallel {
+            parallel_map(active, observe)
+        } else {
+            active.into_iter().map(observe).collect()
+        };
+        if observed.iter().all(|(_, consumed)| *consumed == 0) {
+            for s in &mut self.shards {
+                s.done = true;
+            }
+            return false;
+        }
+        self.node_epochs += 1;
+
+        // Arbitration half, serial and deterministic in rank order.
+        if self.global.is_some() {
+            self.commit_global(&observed);
+        } else {
+            self.commit_per_rank(&observed);
+        }
+
+        for (rank, consumed) in &observed {
+            if *consumed < self.epoch_len {
+                self.shards[*rank as usize].done = true;
+            }
+        }
+        true
+    }
+
+    /// FCFS / partition commit: each shard plans with its own controller
+    /// against the budget the arbiter hands it. Under FCFS earlier ranks'
+    /// migrations are visible to later ranks' budgets — that *is* the
+    /// first-come-first-served semantics.
+    fn commit_per_rank(&mut self, observed: &[(u32, u64)]) {
+        // Only FCFS budgets depend on who holds what; the snapshot must then
+        // be retaken per rank, after the earlier ranks' commits. Partition
+        // budgets are residency-independent, so skip the O(ranks²) walk.
+        let fcfs = self.arbiter.policy() == ArbiterPolicy::Fcfs;
+        for (rank, consumed) in observed {
+            if *consumed == 0 {
+                continue;
+            }
+            let residencies: Vec<ByteSize> = if fcfs {
+                self.shards
+                    .iter()
+                    .map(|s| s.heap.tier_occupancy(self.fast_tier))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let budget = self.arbiter.epoch_budget(*rank, &residencies);
+            let Shard {
+                rt, heap, samples, ..
+            } = &mut self.shards[*rank as usize];
+            rt.set_fast_budget(budget);
+            rt.commit_epoch(heap, *consumed, samples);
+        }
+    }
+
+    /// Global commit: merge every rank's samples into one time-ordered
+    /// stream, fold them into node-wide heat, run one selection spanning
+    /// every rank's objects against the whole node budget, then execute the
+    /// per-rank slices of the plan in rank order.
+    fn commit_global(&mut self, observed: &[(u32, u64)]) {
+        let controller = self.global.as_mut().expect("global controller present");
+
+        // Per-rank sample streams, time-ordered across ranks by the k-way
+        // merge (ties break by rank then arrival, so the fold order — and
+        // with it the f64 heat accumulation — is deterministic).
+        let shards = &self.shards;
+        let inputs: Vec<(u32, _)> = observed
+            .iter()
+            .map(|(rank, _)| {
+                (
+                    *rank,
+                    shards[*rank as usize].samples.iter().map(|s| {
+                        Ok(TraceEvent::Sample(SampleRecord {
+                            time: s.time,
+                            address: s.address,
+                            object: None,
+                            weight: s.weight,
+                            latency_cycles: s.latency_cycles,
+                        }))
+                    }),
+                )
+            })
+            .collect();
+        let merged = MergedStream::new(inputs).expect("in-memory streams cannot fail");
+        for item in merged {
+            let ranked = item.expect("in-memory streams cannot fail");
+            let TraceEvent::Sample(s) = ranked.event else {
+                continue;
+            };
+            let heap = &shards[ranked.rank as usize].heap;
+            if let Some(obj) = heap.registry().find_containing(s.address) {
+                controller.record(global_id(ranked.rank, obj.id), s.weight as f64);
+            }
+        }
+
+        // Node-wide live snapshot. Finished shards are included: their
+        // objects still occupy the fast tier and must stay demotable.
+        let mut live: Vec<ObjectPlacement> = Vec::new();
+        for s in shards {
+            for mut o in ObjectPlacement::snapshot_live(&s.heap) {
+                o.name = match s.global_names.get(&o.id) {
+                    Some(prefixed) => prefixed.clone(),
+                    None => format!("r{:04}/{}", s.rank, o.name),
+                };
+                o.id = global_id(s.rank, o.id);
+                live.push(o);
+            }
+        }
+        let plan = controller.end_epoch(&live, self.fast_tier, self.arbiter.node_budget());
+
+        // Slice the node plan per rank, preserving the planner's order.
+        let ranks = self.shards.len();
+        let mut slices: Vec<EpochPlan> = (0..ranks).map(|_| EpochPlan::default()).collect();
+        for id in &plan.demotions {
+            let (rank, local) = split_global_id(*id);
+            slices[rank as usize].demotions.push(local);
+        }
+        for id in &plan.promotions {
+            let (rank, local) = split_global_id(*id);
+            slices[rank as usize].promotions.push(local);
+        }
+
+        let mut consumed_of = vec![0u64; ranks];
+        for (rank, consumed) in observed {
+            consumed_of[*rank as usize] = *consumed;
+        }
+        for (rank, slice) in slices.iter().enumerate() {
+            let consumed = consumed_of[rank];
+            let Shard {
+                rt, heap, samples, ..
+            } = &mut self.shards[rank];
+            if consumed > 0 {
+                rt.commit_epoch_with_plan(heap, consumed, samples.len() as u64, slice);
+            } else if !slice.is_empty() {
+                // The shard's stream has drained but the node plan touches
+                // its objects (demoting leftover residency to make room for
+                // active ranks): execute as background housekeeping — no
+                // phantom epoch, no charge on the finished rank's time.
+                rt.commit_background_plan(heap, slice);
+            }
+        }
+    }
+}
+
+/// Convenience driver: provision, run and return the outcome in one call.
+pub fn run_multirank(
+    workload: &MultiRankWorkload,
+    machine: &MachineConfig,
+    cfg: MultiRankConfig,
+) -> HmResult<MultiRankOutcome> {
+    Ok(MultiRankRuntime::new(workload, machine, cfg)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::loaded_machine;
+    use hmsim_apps::PhasedWorkload;
+
+    const ARRAY: ByteSize = ByteSize::from_kib(16);
+
+    fn skew() -> MultiRankWorkload {
+        MultiRankWorkload::rank_skew_triad(ARRAY, 4, 4, 30)
+    }
+
+    fn cfg(policy: ArbiterPolicy, budget: ByteSize) -> MultiRankConfig {
+        MultiRankConfig::new(policy, budget)
+            .with_online(OnlineConfig::default().with_epoch_accesses(8_192))
+    }
+
+    #[test]
+    fn global_ids_round_trip() {
+        for rank in [0u32, 1, 7, 63] {
+            for id in [0u32, 1, 4_000_000] {
+                let g = global_id(rank, ObjectId(id));
+                assert_eq!(split_global_id(g), (rank, ObjectId(id)));
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_respects_the_node_budget() {
+        let m = loaded_machine();
+        let w = skew();
+        // Enough for the small ranks plus part of the dominant one.
+        let budget = ByteSize::from_kib(288);
+        for policy in ArbiterPolicy::ALL {
+            let rt = MultiRankRuntime::new(&w, &m, cfg(policy, budget)).unwrap();
+            let shards_occupancy = |rt: &MultiRankRuntime| -> u64 {
+                rt.shards
+                    .iter()
+                    .map(|s| s.heap.tier_occupancy(TierId::MCDRAM).bytes())
+                    .sum()
+            };
+            assert_eq!(shards_occupancy(&rt), 0);
+            let out = rt.run();
+            assert!(out.total_migrations() > 0, "{policy}: nothing migrated");
+            assert!(out.per_rank.iter().all(|r| r.stats.rejected_moves == 0));
+            // Re-run step by step to watch occupancy under the budget at
+            // every epoch boundary.
+            let mut rt = MultiRankRuntime::new(&w, &m, cfg(policy, budget)).unwrap();
+            while rt.step() {
+                let used = shards_occupancy(&rt);
+                assert!(
+                    used <= budget.bytes(),
+                    "{policy}: node budget exceeded ({used} > {})",
+                    budget.bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn global_beats_partition_on_rank_skew() {
+        let m = loaded_machine();
+        let w = skew();
+        let budget = ByteSize::from_kib(288);
+        let partition = run_multirank(&w, &m, cfg(ArbiterPolicy::Partition, budget)).unwrap();
+        let global = run_multirank(&w, &m, cfg(ArbiterPolicy::Global, budget)).unwrap();
+        assert!(
+            global.node_time() < partition.node_time(),
+            "global {} vs partition {}",
+            global.node_time(),
+            partition.node_time()
+        );
+        // Identical simulated work whatever the policy.
+        assert_eq!(
+            partition
+                .per_rank
+                .iter()
+                .map(|r| r.stats.accesses)
+                .sum::<u64>(),
+            global
+                .per_rank
+                .iter()
+                .map(|r| r.stats.accesses)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn replicated_ranks_under_partition_match_each_other() {
+        let m = loaded_machine();
+        let w = MultiRankWorkload::replicated(PhasedWorkload::steady_triad(ARRAY, 20), 3);
+        let budget = w.node_hot_set();
+        let out = run_multirank(&w, &m, cfg(ArbiterPolicy::Partition, budget)).unwrap();
+        assert_eq!(out.per_rank.len(), 3);
+        // Same workload, same share, same seed derivation modulo the
+        // sampler offset: counters must agree exactly (the sampler does not
+        // influence simulation), times within noise of each other.
+        let c0 = &out.per_rank[0].engine.counters;
+        for r in &out.per_rank[1..] {
+            assert_eq!(&r.engine.counters, c0, "rank {} diverged", r.rank);
+        }
+        assert!(out.node_time() >= out.per_rank[0].time);
+    }
+
+    #[test]
+    fn serial_and_parallel_fanout_are_bitwise_identical() {
+        let m = loaded_machine();
+        let w = skew();
+        let budget = ByteSize::from_kib(288);
+        for policy in ArbiterPolicy::ALL {
+            let par = run_multirank(&w, &m, cfg(policy, budget)).unwrap();
+            let ser = run_multirank(&w, &m, cfg(policy, budget).serial()).unwrap();
+            assert_eq!(par.node_epochs, ser.node_epochs, "{policy}");
+            for (a, b) in par.per_rank.iter().zip(&ser.per_rank) {
+                assert_eq!(a.engine.counters, b.engine.counters, "{policy}");
+                assert_eq!(a.stats.migrations, b.stats.migrations, "{policy}");
+                assert_eq!(a.time, b.time, "{policy} rank {}", a.rank);
+            }
+        }
+    }
+}

@@ -9,13 +9,13 @@
 //! [`MigrationCostModel`](crate::MigrationCostModel) and adding it to the
 //! run's latency.
 
-use crate::controller::{ObjectPlacement, PlacementController};
+use crate::controller::{EpochPlan, ObjectPlacement, PlacementController};
 use crate::cost::MigrationCostModel;
 use crate::OnlineConfig;
-use hmsim_common::{Address, ByteSize, Nanos, TierId};
+use hmsim_common::{ByteSize, Nanos, TierId};
 use hmsim_heap::ProcessHeap;
 use hmsim_machine::{EngineStats, MachineConfig, MemoryAccess, TraceEngine};
-use hmsim_pebs::{PebsEvent, PebsSampler, ProcessorFamily};
+use hmsim_pebs::{PebsEvent, PebsSampler, ProcessorFamily, RawSample};
 
 /// What one epoch did.
 #[derive(Clone, Copy, Debug, Default)]
@@ -52,6 +52,15 @@ pub struct RuntimeStats {
     /// Planned moves that the heap rejected (capacity races); the plan is
     /// conservative, so this should stay at zero.
     pub rejected_moves: u64,
+    /// Moves executed *after* this runtime's stream drained (a node-level
+    /// planner demoting a finished rank's residency to make room for active
+    /// ranks). Counted separately because they are housekeeping off this
+    /// rank's critical path: their latency accrues to
+    /// [`background_migration_time`](Self::background_migration_time), not
+    /// to the run's [`total_time`](super::OnlineRuntime::total_time).
+    pub background_migrations: u64,
+    /// Latency of the background moves (not part of the rank's time).
+    pub background_migration_time: Nanos,
     /// Per-epoch log (one entry per epoch; epochs are coarse, so this stays
     /// small even for paper-scale runs).
     pub epoch_log: Vec<EpochRecord>,
@@ -100,6 +109,22 @@ impl OnlineRuntime {
         self.fast_tier
     }
 
+    /// The fast-tier budget the next epoch's selection packs against.
+    pub fn fast_budget(&self) -> ByteSize {
+        self.fast_budget
+    }
+
+    /// Re-arm the fast-tier budget. The multi-rank shard runner calls this
+    /// every epoch with whatever the node arbiter granted this rank.
+    pub fn set_fast_budget(&mut self, budget: ByteSize) {
+        self.fast_budget = budget;
+    }
+
+    /// The configuration driving the epoch loop.
+    pub fn config(&self) -> &OnlineConfig {
+        self.controller.config()
+    }
+
     /// The engine's accumulated simulation statistics.
     pub fn engine_stats(&self) -> &EngineStats {
         self.engine.stats()
@@ -111,7 +136,9 @@ impl OnlineRuntime {
     }
 
     /// Total simulated latency: the engine's execution-time estimate plus
-    /// every migration charge.
+    /// every migration charge incurred while the stream was running
+    /// (background housekeeping moves are excluded — see
+    /// [`RuntimeStats::background_migration_time`]).
     pub fn total_time(&self) -> Nanos {
         self.engine.stats().time + self.stats.migration_time
     }
@@ -126,34 +153,15 @@ impl OnlineRuntime {
         let mut it = accesses.into_iter();
         let misses_before = self.engine.stats().counters.llc_misses;
         let epoch_len = self.controller.config().epoch_accesses;
-        // Sampled (address, weight) pairs of the current epoch; reused.
-        let mut sampled: Vec<(Address, u64)> = Vec::new();
+        // Scratch buffer for the epoch's samples, reused across epochs.
+        let mut sampled: Vec<RawSample> = Vec::new();
 
         loop {
-            sampled.clear();
-            let epoch_start = self.engine.stats().time;
-            let mut consumed = 0u64;
-            {
-                let engine = &mut self.engine;
-                let sampler = &mut self.sampler;
-                let page_table = heap.page_table();
-                while consumed < epoch_len {
-                    let Some(acc) = it.next() else { break };
-                    consumed += 1;
-                    engine.access_with(&acc, page_table, |addr| {
-                        if let Some(s) = sampler.observe(epoch_start, addr) {
-                            sampled.push((addr, s.weight));
-                        }
-                    });
-                }
-            }
+            let consumed = self.observe_epoch(&mut it, heap, &mut sampled);
             if consumed == 0 {
                 break;
             }
-            self.stats.accesses += consumed;
-            self.stats.epochs += 1;
-            let record = self.close_epoch(heap, consumed, &sampled);
-            self.stats.epoch_log.push(record);
+            self.commit_epoch(heap, consumed, &sampled);
             if consumed < epoch_len {
                 break;
             }
@@ -161,29 +169,109 @@ impl OnlineRuntime {
         self.engine.stats().counters.llc_misses - misses_before
     }
 
-    /// Aggregate this epoch's samples into heat, plan and execute the
-    /// migration delta.
-    fn close_epoch(
+    /// Drive up to one epoch's worth of accesses from `it` through the
+    /// engine, with the PEBS sampler observing the LLC-miss stream into
+    /// `sampled` (cleared first, so callers can reuse one buffer across
+    /// epochs). Returns how many accesses were consumed. Pure observation:
+    /// placement is untouched, so the multi-rank runner can fan this out
+    /// over shards before arbitrating serially.
+    pub fn observe_epoch<I>(
         &mut self,
-        heap: &mut ProcessHeap,
-        accesses: u64,
-        sampled: &[(Address, u64)],
-    ) -> EpochRecord {
-        let mut record = EpochRecord {
-            accesses,
-            samples: sampled.len() as u64,
-            ..EpochRecord::default()
-        };
-        self.stats.samples += record.samples;
-        for (addr, weight) in sampled {
-            if let Some(obj) = heap.registry().find_containing(*addr) {
-                self.controller.record(obj.id, *weight as f64);
+        it: &mut I,
+        heap: &ProcessHeap,
+        sampled: &mut Vec<RawSample>,
+    ) -> u64
+    where
+        I: Iterator<Item = MemoryAccess> + ?Sized,
+    {
+        let epoch_len = self.controller.config().epoch_accesses;
+        sampled.clear();
+        let epoch_start = self.engine.stats().time;
+        let mut consumed = 0u64;
+        let engine = &mut self.engine;
+        let sampler = &mut self.sampler;
+        let page_table = heap.page_table();
+        while consumed < epoch_len {
+            let Some(acc) = it.next() else { break };
+            consumed += 1;
+            engine.access_with(&acc, page_table, |addr| {
+                if let Some(s) = sampler.observe(epoch_start, addr) {
+                    sampled.push(s);
+                }
+            });
+        }
+        consumed
+    }
+
+    /// Close one observed epoch: aggregate the samples into heat, re-run the
+    /// controller's selection against [`fast_budget`](Self::fast_budget) and
+    /// execute the migration delta.
+    pub fn commit_epoch(&mut self, heap: &mut ProcessHeap, consumed: u64, sampled: &[RawSample]) {
+        for s in sampled {
+            if let Some(obj) = heap.registry().find_containing(s.address) {
+                self.controller.record(obj.id, s.weight as f64);
             }
         }
         let live = ObjectPlacement::snapshot_live(heap);
         let plan = self
             .controller
             .end_epoch(&live, self.fast_tier, self.fast_budget);
+        self.finish_epoch(heap, consumed, sampled.len() as u64, &plan);
+    }
+
+    /// Close one observed epoch whose migration plan was produced by an
+    /// external (node-global) planner instead of this runtime's own
+    /// controller. Executes the plan with the exact accounting
+    /// [`commit_epoch`](Self::commit_epoch) uses.
+    pub fn commit_epoch_with_plan(
+        &mut self,
+        heap: &mut ProcessHeap,
+        consumed: u64,
+        samples: u64,
+        plan: &EpochPlan,
+    ) {
+        self.finish_epoch(heap, consumed, samples, plan);
+    }
+
+    /// Execute a node-planner slice on a runtime whose stream has already
+    /// drained. The moves happen (and are counted as background moves), but
+    /// no epoch is booked and the latency does not extend
+    /// [`total_time`](Self::total_time): demoting a finished rank's
+    /// residency is housekeeping off that rank's critical path.
+    pub fn commit_background_plan(&mut self, heap: &mut ProcessHeap, plan: &EpochPlan) {
+        let slow_tier = heap.page_table().default_tier();
+        for (ids, to, from) in [
+            (&plan.demotions, slow_tier, self.fast_tier),
+            (&plan.promotions, self.fast_tier, slow_tier),
+        ] {
+            for id in ids {
+                match heap.migrate_object(*id, to) {
+                    Ok(bytes) => {
+                        self.stats.background_migrations += 1;
+                        self.stats.background_migration_time += self.cost.charge(bytes, from, to);
+                    }
+                    Err(_) => self.stats.rejected_moves += 1,
+                }
+            }
+        }
+    }
+
+    /// Execute a migration plan and book the epoch into the statistics.
+    fn finish_epoch(
+        &mut self,
+        heap: &mut ProcessHeap,
+        accesses: u64,
+        samples: u64,
+        plan: &EpochPlan,
+    ) {
+        self.stats.accesses += accesses;
+        self.stats.epochs += 1;
+        let mut record = EpochRecord {
+            accesses,
+            samples,
+            ..EpochRecord::default()
+        };
+        self.stats.samples += samples;
 
         let slow_tier = heap.page_table().default_tier();
         for id in &plan.demotions {
@@ -209,7 +297,7 @@ impl OnlineRuntime {
         self.stats.migrations += u64::from(record.promotions) + u64::from(record.demotions);
         self.stats.bytes_migrated += ByteSize::from_bytes(record.bytes_moved);
         self.stats.migration_time += record.migration_time;
-        record
+        self.stats.epoch_log.push(record);
     }
 }
 
