@@ -1,7 +1,7 @@
 //! What-if estimation: predicted benefit of a placement before re-running.
 //!
 //! The paper lists performance prediction as future work ("it would be
-//! interesting to explore ways [of] predicting the application performance
+//! interesting to explore ways \[of\] predicting the application performance
 //! gains when moving some data objects into fast memory"); this module
 //! provides the simple first-order estimate that the framework's own cost
 //! model already implies: the fraction of LLC-miss traffic whose service

@@ -3,7 +3,7 @@
 //! 64 MPI ranks (no threading), 180×120 blocks, 200 trials, ~158 MiB per
 //! rank. As with BT, the hot data is static in the original Fortran code; the
 //! paper converted "the most observed variables" to dynamic allocations. The
-//! converted hot set is tiny — it "already fit[s] in the smaller case (32
+//! converted hot set is tiny — it "already fit\[s\] in the smaller case (32
 //! Mbytes per process), so adding more memory does not provide any benefit" —
 //! and a meaningful share of the traffic stays on static variables, which is
 //! why `numactl -p 1` remains marginally ahead and why the paper notes that

@@ -2,7 +2,7 @@
 
 use crate::apps;
 use crate::spec::AppSpec;
-use hmsim_common::HmResult;
+use hmsim_common::{HmError, HmResult};
 
 /// All eight applications of the paper's evaluation, in Table I order.
 pub fn all_apps() -> Vec<AppSpec> {
@@ -30,10 +30,21 @@ pub fn validated_apps() -> HmResult<Vec<AppSpec>> {
 }
 
 /// Look an application up by (case-insensitive) name.
-pub fn app_by_name(name: &str) -> Option<AppSpec> {
+///
+/// An unknown name is a typed [`HmError::Config`] listing every registered
+/// application, so callers parsing user input (scenario files, example CLI
+/// arguments) can surface an actionable message instead of a bare `None`.
+pub fn app_by_name(name: &str) -> HmResult<AppSpec> {
     all_apps()
         .into_iter()
         .find(|a| a.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let candidates: Vec<&str> = all_apps().iter().map(|a| a.name).collect();
+            HmError::Config(format!(
+                "unknown application {name:?}; candidates: {}",
+                candidates.join(", ")
+            ))
+        })
 }
 
 #[cfg(test)]
@@ -66,9 +77,19 @@ mod tests {
 
     #[test]
     fn lookup_by_name_is_case_insensitive() {
-        assert!(app_by_name("hpcg").is_some());
-        assert!(app_by_name("GTC-P").is_some());
-        assert!(app_by_name("does-not-exist").is_none());
+        assert!(app_by_name("hpcg").is_ok());
+        assert!(app_by_name("GTC-P").is_ok());
+        let err = app_by_name("does-not-exist").unwrap_err();
+        assert!(
+            matches!(err, hmsim_common::HmError::Config(_)),
+            "expected a typed configuration error, got {err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("does-not-exist"), "{msg}");
+        assert!(
+            msg.contains("candidates") && msg.contains("miniFE") && msg.contains("GTC-P"),
+            "{msg}"
+        );
     }
 
     #[test]

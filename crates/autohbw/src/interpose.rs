@@ -195,7 +195,7 @@ impl AutoHbwMalloc {
     }
 
     /// The interposed `free`: routes the call to whichever allocator owns the
-    /// pointer (the library "keep[s] a relation of which allocations have
+    /// pointer (the library "keep\[s\] a relation of which allocations have
     /// been done by the alternate allocators").
     pub fn free(
         &mut self,

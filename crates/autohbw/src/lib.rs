@@ -26,4 +26,6 @@ pub mod interpose;
 pub mod router;
 
 pub use interpose::{AutoHbwMalloc, InterpositionStats};
-pub use router::{AllocationRouter, PlacementApproach, RouterFactory};
+#[allow(deprecated)]
+pub use router::RouterFactory;
+pub use router::{AllocationRouter, ApproachKind, PlacementApproach};

@@ -1,7 +1,22 @@
 //! Placement approaches: the framework and every baseline the paper compares
 //! against, behind one allocation-routing interface.
+//!
+//! [`PlacementApproach`] is the *self-describing* form of an approach: each
+//! variant carries its own configuration as enum payload (the `autohbw` size
+//! threshold, the framework's selection strategy) and knows how to build its
+//! own [`AllocationRouter`] through [`PlacementApproach::router`]. That is
+//! what removes the old `RouterFactory`-vs-`RunConfig` mismatch class: a
+//! caller can no longer pair an online run configuration with a DDR router,
+//! because the router is derived from the approach value itself.
+//!
+//! [`ApproachKind`] is the *typed label* of an approach — the thing results,
+//! grid columns, figure legends and bench JSON keys used to carry as bare
+//! strings. Its [`Display`](std::fmt::Display) impl is the single source of
+//! the legend names (`DDR`, `MCDRAM*`, `autohbw`, `Cache`, `Framework`,
+//! `Online`).
 
 use crate::interpose::AutoHbwMalloc;
+use hmem_advisor::SelectionStrategy;
 use hmsim_callstack::SiteKey;
 use hmsim_common::{Address, AddressRange, ByteSize, HmResult, Nanos, ObjectId, TierId};
 use hmsim_heap::ProcessHeap;
@@ -24,24 +39,124 @@ pub enum PlacementApproach {
     /// MCDRAM configured as a cache: placement is transparent, everything
     /// stays in DDR from the allocator's point of view.
     CacheMode,
-    /// The paper's framework: `auto-hbwmalloc` driven by an advisor report.
-    Framework,
+    /// The paper's framework: `auto-hbwmalloc` driven by an advisor report
+    /// produced with the embedded selection strategy (the profile → analyse
+    /// → advise → re-run pipeline).
+    Framework {
+        /// How the advisor ranks candidate objects for promotion.
+        strategy: SelectionStrategy,
+    },
     /// The online migration runtime (`hmsim-runtime`): everything is
     /// allocated in DDR and the epoch-driven placement engine migrates hot
     /// objects to fast memory while the application runs.
     Online,
 }
 
+impl PlacementApproach {
+    /// The `autohbw` baseline with the paper's 1 MiB threshold.
+    pub fn autohbw_1m() -> PlacementApproach {
+        PlacementApproach::AutoHbw {
+            threshold: ByteSize::from_mib(1),
+        }
+    }
+
+    /// The framework with a given selection strategy.
+    pub fn framework(strategy: SelectionStrategy) -> PlacementApproach {
+        PlacementApproach::Framework { strategy }
+    }
+
+    /// The typed label of this approach (payload-free).
+    pub fn kind(&self) -> ApproachKind {
+        match self {
+            PlacementApproach::DdrOnly => ApproachKind::Ddr,
+            PlacementApproach::NumactlPreferred => ApproachKind::Numactl,
+            PlacementApproach::AutoHbw { .. } => ApproachKind::AutoHbw,
+            PlacementApproach::CacheMode => ApproachKind::Cache,
+            PlacementApproach::Framework { .. } => ApproachKind::Framework,
+            PlacementApproach::Online => ApproachKind::Online,
+        }
+    }
+
+    /// Build the allocation router implementing this approach.
+    ///
+    /// Every self-contained approach builds here; [`Framework`] needs an
+    /// advisor report and a process's unwind/translate machinery (the output
+    /// of the profiling pipeline), so it cannot — run it through the
+    /// `hmem-core` `Simulation` facade or build the interposition library
+    /// explicitly with [`AllocationRouter::framework`].
+    ///
+    /// [`Framework`]: PlacementApproach::Framework
+    pub fn router(&self) -> HmResult<AllocationRouter> {
+        AllocationRouter::simple(self.clone())
+    }
+}
+
 impl fmt::Display for PlacementApproach {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlacementApproach::DdrOnly => write!(f, "DDR"),
-            PlacementApproach::NumactlPreferred => write!(f, "MCDRAM*"),
-            PlacementApproach::AutoHbw { threshold } => write!(f, "autohbw/{threshold}"),
-            PlacementApproach::CacheMode => write!(f, "Cache"),
-            PlacementApproach::Framework => write!(f, "Framework"),
-            PlacementApproach::Online => write!(f, "Online"),
+            PlacementApproach::AutoHbw { threshold } => {
+                write!(f, "{}/{threshold}", ApproachKind::AutoHbw)
+            }
+            other => other.kind().fmt(f),
         }
+    }
+}
+
+/// The typed, payload-free label of a placement approach — what results and
+/// reports carry instead of a bare string. One `Display` impl produces the
+/// figure-legend names; [`ApproachKind::key`] produces the lowercase
+/// machine-readable form used in bench JSON keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ApproachKind {
+    /// Everything in DDR.
+    Ddr,
+    /// `numactl -p 1` (the figure legend calls it `MCDRAM*`).
+    Numactl,
+    /// memkind's `autohbw` size-threshold promotion.
+    AutoHbw,
+    /// MCDRAM as a transparent memory-side cache.
+    Cache,
+    /// The paper's profile-guided framework.
+    Framework,
+    /// The online migration runtime.
+    Online,
+}
+
+impl ApproachKind {
+    /// Every kind, in figure-legend presentation order.
+    pub const ALL: [ApproachKind; 6] = [
+        ApproachKind::Ddr,
+        ApproachKind::Numactl,
+        ApproachKind::AutoHbw,
+        ApproachKind::Cache,
+        ApproachKind::Framework,
+        ApproachKind::Online,
+    ];
+
+    /// The lowercase machine-readable identifier (bench JSON keys, scenario
+    /// files).
+    pub fn key(self) -> &'static str {
+        match self {
+            ApproachKind::Ddr => "ddr",
+            ApproachKind::Numactl => "numactl",
+            ApproachKind::AutoHbw => "autohbw",
+            ApproachKind::Cache => "cache",
+            ApproachKind::Framework => "framework",
+            ApproachKind::Online => "online",
+        }
+    }
+}
+
+impl fmt::Display for ApproachKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ApproachKind::Ddr => "DDR",
+            ApproachKind::Numactl => "MCDRAM*",
+            ApproachKind::AutoHbw => "autohbw",
+            ApproachKind::Cache => "Cache",
+            ApproachKind::Framework => "Framework",
+            ApproachKind::Online => "Online",
+        })
     }
 }
 
@@ -83,10 +198,11 @@ impl AllocationRouter {
             PlacementApproach::AutoHbw { threshold } => {
                 (TierId::MCDRAM, false, false, Some((*threshold, None)))
             }
-            PlacementApproach::Framework => {
+            PlacementApproach::Framework { .. } => {
                 return Err(hmsim_common::HmError::Config(
                     "the Framework approach needs an advisor-configured interposition \
-                     library; build it with AllocationRouter::framework"
+                     library; run it through the Simulation facade or build it with \
+                     AllocationRouter::framework"
                         .to_string(),
                 ))
             }
@@ -107,11 +223,11 @@ impl AllocationRouter {
         AllocationRouter::Interposed(Box::new(lib))
     }
 
-    /// The approach this router implements.
-    pub fn approach(&self) -> PlacementApproach {
+    /// The typed label of the approach this router implements.
+    pub fn kind(&self) -> ApproachKind {
         match self {
-            AllocationRouter::Simple { approach, .. } => approach.clone(),
-            AllocationRouter::Interposed(_) => PlacementApproach::Framework,
+            AllocationRouter::Simple { approach, .. } => approach.kind(),
+            AllocationRouter::Interposed(_) => ApproachKind::Framework,
         }
     }
 
@@ -249,35 +365,40 @@ impl AllocationRouter {
 }
 
 /// Helper constructing routers for the paper's comparison set.
+#[deprecated(
+    since = "0.1.0",
+    note = "approaches build their own routers now: use \
+            `PlacementApproach::router()` (or the hmem-core `Simulation` \
+            facade for whole runs)"
+)]
 pub struct RouterFactory;
 
+#[allow(deprecated)]
 impl RouterFactory {
     /// The `autohbw` baseline with the paper's 1 MiB threshold.
     pub fn autohbw_1m() -> HmResult<AllocationRouter> {
-        AllocationRouter::simple(PlacementApproach::AutoHbw {
-            threshold: ByteSize::from_mib(1),
-        })
+        PlacementApproach::autohbw_1m().router()
     }
 
     /// The `numactl -p 1` baseline.
     pub fn numactl() -> HmResult<AllocationRouter> {
-        AllocationRouter::simple(PlacementApproach::NumactlPreferred)
+        PlacementApproach::NumactlPreferred.router()
     }
 
     /// The DDR-only reference.
     pub fn ddr() -> HmResult<AllocationRouter> {
-        AllocationRouter::simple(PlacementApproach::DdrOnly)
+        PlacementApproach::DdrOnly.router()
     }
 
     /// The cache-mode configuration (placement-transparent).
     pub fn cache_mode() -> HmResult<AllocationRouter> {
-        AllocationRouter::simple(PlacementApproach::CacheMode)
+        PlacementApproach::CacheMode.router()
     }
 
     /// The online migration runtime: DDR-first allocation, with promotion
     /// delegated to the epoch-driven placement engine.
     pub fn online() -> HmResult<AllocationRouter> {
-        AllocationRouter::simple(PlacementApproach::Online)
+        PlacementApproach::Online.router()
     }
 }
 
@@ -296,7 +417,7 @@ mod tests {
     #[test]
     fn ddr_router_never_touches_mcdram() {
         let mut heap = heap_with_cap(1024);
-        let mut r = RouterFactory::ddr().unwrap();
+        let mut r = PlacementApproach::DdrOnly.router().unwrap();
         let (_, range, _) = r
             .malloc(
                 &mut heap,
@@ -310,13 +431,13 @@ mod tests {
         assert_eq!(heap.page_table().tier_of(range.start), TierId::DDR);
         assert_eq!(r.static_tier(&heap, ByteSize::from_mib(10)), TierId::DDR);
         assert_eq!(r.promoted_hwm(), ByteSize::ZERO);
-        assert_eq!(r.approach(), PlacementApproach::DdrOnly);
+        assert_eq!(r.kind(), ApproachKind::Ddr);
     }
 
     #[test]
     fn numactl_router_is_fcfs_until_exhausted() {
         let mut heap = heap_with_cap(150);
-        let mut r = RouterFactory::numactl().unwrap();
+        let mut r = PlacementApproach::NumactlPreferred.router().unwrap();
         // Static data also prefers MCDRAM under numactl.
         assert_eq!(r.static_tier(&heap, ByteSize::from_mib(32)), TierId::MCDRAM);
         assert_eq!(r.stack_tier(&heap, ByteSize::from_mib(8)), TierId::MCDRAM);
@@ -352,7 +473,7 @@ mod tests {
     #[test]
     fn autohbw_router_honours_the_size_threshold() {
         let mut heap = heap_with_cap(1024);
-        let mut r = RouterFactory::autohbw_1m().unwrap();
+        let mut r = PlacementApproach::autohbw_1m().router().unwrap();
         let (_, small, _) = r
             .malloc(
                 &mut heap,
@@ -377,13 +498,17 @@ mod tests {
         assert_eq!(heap.page_table().tier_of(big.start), TierId::MCDRAM);
         // autohbw never promotes statics or stacks.
         assert_eq!(r.static_tier(&heap, ByteSize::from_mib(1)), TierId::DDR);
-        assert_eq!(format!("{}", r.approach()), "autohbw/1MiB");
+        assert_eq!(
+            format!("{}", PlacementApproach::autohbw_1m()),
+            "autohbw/1MiB"
+        );
+        assert_eq!(r.kind(), ApproachKind::AutoHbw);
     }
 
     #[test]
     fn cache_mode_router_keeps_everything_in_ddr() {
         let mut heap = heap_with_cap(1024);
-        let mut r = RouterFactory::cache_mode().unwrap();
+        let mut r = PlacementApproach::CacheMode.router().unwrap();
         let (_, range, _) = r
             .malloc(
                 &mut heap,
@@ -400,7 +525,7 @@ mod tests {
     #[test]
     fn free_releases_promoted_accounting() {
         let mut heap = heap_with_cap(128);
-        let mut r = RouterFactory::numactl().unwrap();
+        let mut r = PlacementApproach::NumactlPreferred.router().unwrap();
         let (_, range, _) = r
             .malloc(
                 &mut heap,
@@ -432,7 +557,8 @@ mod tests {
 
     #[test]
     fn framework_requires_the_interposition_constructor() {
-        let err = match AllocationRouter::simple(PlacementApproach::Framework) {
+        let approach = PlacementApproach::framework(hmem_advisor::SelectionStrategy::Density);
+        let err = match approach.router() {
             Err(e) => e,
             Ok(_) => panic!("Framework must not build through simple()"),
         };
@@ -441,13 +567,14 @@ mod tests {
             "expected a typed configuration error, got {err}"
         );
         assert!(err.to_string().contains("AllocationRouter::framework"));
+        assert_eq!(approach.kind(), ApproachKind::Framework);
     }
 
     #[test]
     fn online_router_allocates_ddr_first() {
         let mut heap = heap_with_cap(1024);
-        let mut r = RouterFactory::online().unwrap();
-        assert_eq!(r.approach(), PlacementApproach::Online);
+        let mut r = PlacementApproach::Online.router().unwrap();
+        assert_eq!(r.kind(), ApproachKind::Online);
         let (_, range, _) = r
             .malloc(
                 &mut heap,
@@ -471,7 +598,43 @@ mod tests {
             "MCDRAM*"
         );
         assert_eq!(format!("{}", PlacementApproach::CacheMode), "Cache");
-        assert_eq!(format!("{}", PlacementApproach::Framework), "Framework");
+        assert_eq!(
+            format!(
+                "{}",
+                PlacementApproach::framework(hmem_advisor::SelectionStrategy::Density)
+            ),
+            "Framework"
+        );
         assert_eq!(format!("{}", PlacementApproach::Online), "Online");
+        // The machine-readable keys stay lowercase and stable.
+        for kind in ApproachKind::ALL {
+            assert_eq!(kind.key(), kind.key().to_ascii_lowercase());
+        }
+        assert_eq!(ApproachKind::Online.key(), "online");
+        assert_eq!(ApproachKind::Numactl.to_string(), "MCDRAM*");
+    }
+
+    /// The deprecated factory shim keeps building the same routers the
+    /// approaches build for themselves (removed next PR).
+    #[test]
+    #[allow(deprecated)]
+    fn router_factory_shim_delegates_to_the_approaches() {
+        assert_eq!(RouterFactory::ddr().unwrap().kind(), ApproachKind::Ddr);
+        assert_eq!(
+            RouterFactory::numactl().unwrap().kind(),
+            ApproachKind::Numactl
+        );
+        assert_eq!(
+            RouterFactory::autohbw_1m().unwrap().kind(),
+            ApproachKind::AutoHbw
+        );
+        assert_eq!(
+            RouterFactory::cache_mode().unwrap().kind(),
+            ApproachKind::Cache
+        );
+        assert_eq!(
+            RouterFactory::online().unwrap().kind(),
+            ApproachKind::Online
+        );
     }
 }

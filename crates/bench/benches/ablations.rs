@@ -93,7 +93,7 @@ fn bench_site_cache(c: &mut Criterion) {
 }
 
 fn bench_sampling_period(c: &mut Criterion) {
-    use auto_hbwmalloc::RouterFactory;
+    use auto_hbwmalloc::PlacementApproach;
     use hmem_core::simrun::{AppRun, RunConfig};
     use hmsim_apps::app_by_name;
     use hmsim_profiler::ProfilerConfig;
@@ -107,7 +107,7 @@ fn bench_sampling_period(c: &mut Criterion) {
                 .with_iterations(5)
                 .with_profiling(ProfilerConfig::dense(period)),
         )
-        .execute(RouterFactory::ddr().unwrap())
+        .execute(PlacementApproach::DdrOnly.router().unwrap())
         .unwrap();
         let trace = run.trace.as_ref().unwrap();
         let report = analyze_trace(trace);
@@ -139,7 +139,7 @@ fn bench_sampling_period(c: &mut Criterion) {
                             .with_iterations(3)
                             .with_profiling(ProfilerConfig::dense(p)),
                     )
-                    .execute(RouterFactory::ddr().unwrap())
+                    .execute(PlacementApproach::DdrOnly.router().unwrap())
                     .unwrap()
                 });
             },

@@ -26,7 +26,7 @@ fn bench_fig5(c: &mut Criterion) {
     // (Re-create a trace once outside the measurement loop.)
     let trace: TraceFile = {
         // figure5 consumed its traces; rebuild a modest profiled run instead.
-        use auto_hbwmalloc::RouterFactory;
+        use auto_hbwmalloc::PlacementApproach;
         use hmem_core::simrun::{AppRun, RunConfig};
         use hmsim_apps::app_by_name;
         use hmsim_common::ByteSize;
@@ -38,7 +38,7 @@ fn bench_fig5(c: &mut Criterion) {
                 .with_iterations(5)
                 .with_profiling(ProfilerConfig::dense(8_009)),
         )
-        .execute(RouterFactory::numactl().unwrap())
+        .execute(PlacementApproach::NumactlPreferred.router().unwrap())
         .unwrap()
         .trace
         .unwrap()

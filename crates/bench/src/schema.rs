@@ -7,222 +7,14 @@
 //! offline build) or silently drops a headline metric fails the pipeline
 //! instead of shipping garbage baselines.
 //!
-//! The parser is a deliberately small recursive-descent JSON reader: it
-//! accepts exactly the JSON the writers emit (objects, arrays, strings with
-//! `\`-escapes, numbers, booleans, null) and rejects everything else.
+//! The parser lives in [`hmsim_common::json`] (the scenario loader in
+//! `hmem-core` reads `.scn` files through the same code); this module
+//! re-exports it so existing `hmsim_bench::schema::parse_json` callers keep
+//! working.
 
-use std::collections::BTreeMap;
 use std::path::Path;
 
-/// A parsed JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// An object; insertion order is irrelevant for validation.
-    Object(BTreeMap<String, Json>),
-    /// An array.
-    Array(Vec<Json>),
-    /// A string.
-    Str(String),
-    /// A number (f64, as JSON numbers are).
-    Num(f64),
-    /// A boolean.
-    Bool(bool),
-    /// null.
-    Null,
-}
-
-impl Json {
-    /// The object's entry for `key`, if this is an object and the key exists.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(map) => map.get(key),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, what: &str) -> String {
-        format!("{what} at byte {}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", byte as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.err(&format!("expected '{word}'")))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.value()?;
-            map.insert(key, value);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(map));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str upstream,
-                    // so boundaries are valid).
-                    let s = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = s.chars().next().unwrap();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        let n: f64 = text
-            .parse()
-            .map_err(|_| format!("malformed number '{text}' at byte {start}"))?;
-        if !n.is_finite() {
-            return Err(format!("non-finite number '{text}' at byte {start}"));
-        }
-        Ok(Json::Num(n))
-    }
-}
-
-/// Parse a complete JSON document (trailing garbage is an error).
-pub fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing garbage after the JSON document"));
-    }
-    Ok(v)
-}
+pub use hmsim_common::json::{parse_json, Json};
 
 /// The registered benchmark artifacts: file name → (expected `"bench"`
 /// value, headline keys the top-level object must carry).
@@ -315,25 +107,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parser_round_trips_the_shapes_the_writers_emit() {
-        let doc = parse_json(
-            "{\n  \"bench\": \"x\",\n  \"n\": -3.25e2,\n  \"ok\": true,\n  \
-             \"list\": [1, \"two\\n\", null],\n  \"nested\": {\"a\": {}}\n}",
-        )
-        .unwrap();
+    fn reexported_parser_handles_the_bench_shapes() {
+        let doc =
+            parse_json("{\"bench\": \"x\", \"n\": -3.25e2, \"nested\": {\"a\": []}}").unwrap();
         assert_eq!(doc.get("bench"), Some(&Json::Str("x".into())));
         assert_eq!(doc.get("n"), Some(&Json::Num(-325.0)));
-        assert!(matches!(doc.get("list"), Some(Json::Array(v)) if v.len() == 3));
-    }
-
-    #[test]
-    fn parser_rejects_malformed_documents() {
-        assert!(parse_json("").is_err());
-        assert!(parse_json("{\"a\": }").is_err());
-        assert!(parse_json("{\"a\": 1,}").is_err());
         assert!(parse_json("{\"a\": 1} trailing").is_err());
-        assert!(parse_json("{\"a\": 1").is_err());
-        assert!(parse_json("{\"a\": 1e999}").is_err(), "infinite number");
     }
 
     #[test]

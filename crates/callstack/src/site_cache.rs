@@ -1,7 +1,7 @@
 //! The allocation-site decision cache of Algorithm 1.
 //!
 //! `auto-hbwmalloc` keeps "a small cache indexed by the unwound addresses
-//! that keep[s] whether an allocation invoked in that position shall or shall
+//! that keep\[s\] whether an allocation invoked in that position shall or shall
 //! not be allocated using the alternate allocator" (paper §III, step 4).
 //! Hitting this cache skips the expensive translation step entirely.
 

@@ -16,6 +16,9 @@
 //!   percentile helpers used by the profiler, the allocators and the
 //!   experiment driver;
 //! * [`error`] — the shared error type;
+//! * [`json`] — the minimal recursive-descent JSON reader shared by the
+//!   bench schema check and the scenario loader (no serde in the offline
+//!   build);
 //! * [`par`] — the scoped-thread work-sharing fan-out used by the experiment
 //!   grid and the multi-rank shard runner;
 //! * [`table`] — plain-text table/CSV rendering used to print the paper's
@@ -26,6 +29,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod par;
 pub mod rng;
 pub mod stats;

@@ -10,9 +10,9 @@
 
 use crate::metrics::delta_fom_per_mbyte;
 use crate::par::parallel_map;
-use crate::pipeline::FrameworkPipeline;
-use crate::simrun::{AppRun, RunConfig};
-use auto_hbwmalloc::RouterFactory;
+use crate::scenario::Scenario;
+use crate::session::Simulation;
+use auto_hbwmalloc::{ApproachKind, PlacementApproach};
 use hmem_advisor::SelectionStrategy;
 use hmsim_apps::{all_apps, AppSpec};
 use hmsim_common::{ByteSize, HmResult};
@@ -172,27 +172,28 @@ enum GridJob {
 
 /// Run the whole grid for one application. The framework's strategy × budget
 /// configurations and the profiling-free baselines are all independent
-/// simulations, so they are fanned out over scoped worker threads.
+/// simulations, so they are fanned out over scoped worker threads. Every
+/// job is a declarative [`Scenario`] dispatched through the [`Simulation`]
+/// facade — the grid is now literally a list of scenario values.
 pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult<AppExperiment> {
     // A malformed spec fails this application's experiment with a typed,
     // attributable error instead of poisoning the whole sweep.
     spec.validate()?;
-    let apply_iters = |mut cfg: RunConfig| {
+    let scenario = |approach: PlacementApproach, budget: ByteSize| {
+        let mut s = Scenario::app(spec.name, approach, budget).with_seed(config.seed);
         if let Some(it) = config.iterations_override {
-            cfg = cfg.with_iterations(it);
+            s = s.with_iterations(it);
         }
-        cfg.seed = config.seed;
-        cfg
+        s
     };
 
     // DDR reference first: every other configuration's efficiency metric is
     // relative to it.
-    let ddr = AppRun::new(spec, apply_iters(RunConfig::flat(config.fcfs_share(spec))))
-        .execute(RouterFactory::ddr()?)?;
-    let ddr_fom = ddr.fom;
+    let share = config.fcfs_share(spec);
+    let ddr = Simulation::new().run(&scenario(PlacementApproach::DdrOnly, share))?;
+    let ddr_fom = ddr.node.fom;
 
     let full_mcdram_mib = ByteSize::from_gib(16).mib();
-    let share = config.fcfs_share(spec);
 
     // Framework grid (strategies × budgets) plus the three baselines, in the
     // order the results list reports them.
@@ -211,68 +212,63 @@ pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult
     let outcomes = parallel_map(jobs, |job| -> HmResult<ApproachResult> {
         Ok(match job {
             GridJob::Framework(strategy, budget) => {
-                let mut pipeline = FrameworkPipeline::new(budget, strategy);
-                pipeline.seed = config.seed;
-                if let Some(it) = config.iterations_override {
-                    pipeline = pipeline.with_iterations(it);
-                }
-                let outcome = pipeline.run(spec)?;
+                let outcome = Simulation::new()
+                    .run(&scenario(PlacementApproach::framework(strategy), budget))?;
                 let mib = budget.mib();
                 ApproachResult {
                     label: format!("{}/{}", strategy, budget),
-                    fom: outcome.result.fom,
-                    mcdram_hwm: outcome.result.mcdram_hwm,
+                    fom: outcome.node.fom,
+                    mcdram_hwm: outcome.node.mcdram_hwm,
                     charged_mcdram_mib: mib,
-                    dfom_per_mbyte: delta_fom_per_mbyte(outcome.result.fom, ddr_fom, mib),
+                    dfom_per_mbyte: delta_fom_per_mbyte(outcome.node.fom, ddr_fom, mib),
                     is_framework: true,
                 }
             }
             GridJob::Online(budget) => {
-                let run = AppRun::new(spec, apply_iters(RunConfig::flat(budget)))
-                    .execute(RouterFactory::online()?)?;
+                let run = Simulation::new().run(&scenario(PlacementApproach::Online, budget))?;
                 let mib = budget.mib();
                 ApproachResult {
-                    label: format!("Online/{}", budget),
-                    fom: run.fom,
-                    mcdram_hwm: run.mcdram_hwm,
+                    label: format!("{}/{}", ApproachKind::Online, budget),
+                    fom: run.node.fom,
+                    mcdram_hwm: run.node.mcdram_hwm,
                     charged_mcdram_mib: mib,
-                    dfom_per_mbyte: delta_fom_per_mbyte(run.fom, ddr_fom, mib),
+                    dfom_per_mbyte: delta_fom_per_mbyte(run.node.fom, ddr_fom, mib),
                     is_framework: false,
                 }
             }
             GridJob::Numactl => {
-                let run = AppRun::new(spec, apply_iters(RunConfig::flat(share)))
-                    .execute(RouterFactory::numactl()?)?;
+                let run =
+                    Simulation::new().run(&scenario(PlacementApproach::NumactlPreferred, share))?;
                 ApproachResult {
-                    label: "MCDRAM*".to_string(),
-                    fom: run.fom,
-                    mcdram_hwm: run.mcdram_hwm,
+                    label: ApproachKind::Numactl.to_string(),
+                    fom: run.node.fom,
+                    mcdram_hwm: run.node.mcdram_hwm,
                     charged_mcdram_mib: full_mcdram_mib,
-                    dfom_per_mbyte: delta_fom_per_mbyte(run.fom, ddr_fom, full_mcdram_mib),
+                    dfom_per_mbyte: delta_fom_per_mbyte(run.node.fom, ddr_fom, full_mcdram_mib),
                     is_framework: false,
                 }
             }
             GridJob::Autohbw => {
-                let run = AppRun::new(spec, apply_iters(RunConfig::flat(share)))
-                    .execute(RouterFactory::autohbw_1m()?)?;
+                let run =
+                    Simulation::new().run(&scenario(PlacementApproach::autohbw_1m(), share))?;
                 ApproachResult {
-                    label: "autohbw/1m".to_string(),
-                    fom: run.fom,
-                    mcdram_hwm: run.mcdram_hwm,
+                    label: format!("{}/1m", ApproachKind::AutoHbw),
+                    fom: run.node.fom,
+                    mcdram_hwm: run.node.mcdram_hwm,
                     charged_mcdram_mib: 0.0,
                     dfom_per_mbyte: 0.0,
                     is_framework: false,
                 }
             }
             GridJob::Cache => {
-                let run = AppRun::new(spec, apply_iters(RunConfig::cache_mode()))
-                    .execute(RouterFactory::cache_mode()?)?;
+                let run = Simulation::new()
+                    .run(&scenario(PlacementApproach::CacheMode, ByteSize::ZERO))?;
                 ApproachResult {
-                    label: "Cache".to_string(),
-                    fom: run.fom,
+                    label: ApproachKind::Cache.to_string(),
+                    fom: run.node.fom,
                     mcdram_hwm: ByteSize::ZERO,
                     charged_mcdram_mib: full_mcdram_mib,
-                    dfom_per_mbyte: delta_fom_per_mbyte(run.fom, ddr_fom, full_mcdram_mib),
+                    dfom_per_mbyte: delta_fom_per_mbyte(run.node.fom, ddr_fom, full_mcdram_mib),
                     is_framework: false,
                 }
             }
@@ -284,7 +280,7 @@ pub fn run_app_experiment(spec: &AppSpec, config: &ExperimentConfig) -> HmResult
         results.push(r?);
     }
     results.push(ApproachResult {
-        label: "DDR".to_string(),
+        label: ApproachKind::Ddr.to_string(),
         fom: ddr_fom,
         mcdram_hwm: ByteSize::ZERO,
         charged_mcdram_mib: 0.0,

@@ -5,7 +5,7 @@
 
 use crate::pipeline::FrameworkPipeline;
 use crate::simrun::{AppRun, RunConfig, RunResult};
-use auto_hbwmalloc::{AllocationRouter, AutoHbwMalloc, RouterFactory};
+use auto_hbwmalloc::{AllocationRouter, AutoHbwMalloc, PlacementApproach};
 use hmem_advisor::SelectionStrategy;
 use hmsim_analysis::FoldedTimeline;
 use hmsim_apps::{all_apps, app_by_name, AppSpec, StreamBenchmark};
@@ -91,7 +91,7 @@ pub fn table1_row(spec: &AppSpec, iterations_override: Option<u32>) -> HmResult<
     if let Some(it) = iterations_override {
         cfg = cfg.with_iterations(it);
     }
-    let result = AppRun::new(spec, cfg).execute(RouterFactory::ddr()?)?;
+    let result = AppRun::new(spec, cfg).execute(PlacementApproach::DdrOnly.router()?)?;
     let trace = result
         .trace
         .as_ref()
@@ -186,7 +186,7 @@ pub fn figure5(iterations: u32, bins: usize) -> HmResult<Figure5Data> {
             .with_iterations(iterations)
             .with_profiling(dense_profiler),
     )
-    .execute(RouterFactory::numactl()?)?;
+    .execute(PlacementApproach::NumactlPreferred.router()?)?;
 
     let fold = |run: &RunResult| {
         FoldedTimeline::fold(

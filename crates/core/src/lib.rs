@@ -3,6 +3,14 @@
 //! The top of the reproduction: this crate wires the substrates together into
 //! the four-stage framework of the paper and drives the whole evaluation.
 //!
+//! * [`scenario`] — declarative, serializable simulation sessions: one
+//!   [`Scenario`] value describes workload, machine, memory mode, placement
+//!   approach (configuration embedded as enum payload), online knobs,
+//!   arbitration, profiling and seed, and round-trips through the `.scn`
+//!   text format;
+//! * [`session`] — the [`Simulation`] facade dispatching a scenario to the
+//!   analytic runner, the online runtime or the multi-rank runtime and
+//!   returning one unified [`Outcome`];
 //! * [`simrun`] — executes one application model on the machine model under a
 //!   chosen placement approach, producing a figure of merit, MCDRAM usage and
 //!   (optionally) an Extrae-style trace;
@@ -33,6 +41,8 @@ pub mod par {
     pub use hmsim_common::parallel_map;
 }
 pub mod report;
+pub mod scenario;
+pub mod session;
 pub mod simrun;
 
 pub use experiment::{
@@ -41,4 +51,8 @@ pub use experiment::{
 pub use metrics::delta_fom_per_mbyte;
 pub use par::parallel_map;
 pub use pipeline::{FrameworkOutcome, FrameworkPipeline};
+pub use scenario::{
+    committed_scenarios, MachineSelector, MultiRankSelector, Scenario, WorkloadSelector,
+};
+pub use session::{NodeAggregates, Outcome, Simulation};
 pub use simrun::{AppRun, RunConfig, RunResult};

@@ -10,7 +10,7 @@
 //!    honouring the advisor's report.
 
 use crate::simrun::{AppRun, RunConfig, RunResult};
-use auto_hbwmalloc::{AllocationRouter, AutoHbwMalloc, RouterFactory};
+use auto_hbwmalloc::{AllocationRouter, AutoHbwMalloc, PlacementApproach};
 use hmem_advisor::{Advisor, MemorySpec, PlacementReport, SelectionStrategy};
 use hmsim_analysis::{analyze_trace, analyze_try_stream, ObjectReport};
 use hmsim_apps::AppSpec;
@@ -88,7 +88,8 @@ impl FrameworkPipeline {
         let profile_cfg = self
             .run_config(self.mcdram_budget)
             .with_profiling(self.profiler.clone());
-        let mut profile_run = AppRun::new(spec, profile_cfg).execute(RouterFactory::ddr()?)?;
+        let mut profile_run =
+            AppRun::new(spec, profile_cfg).execute(PlacementApproach::DdrOnly.router()?)?;
         let trace = profile_run
             .trace
             .take()
@@ -179,7 +180,7 @@ mod tests {
             &spec,
             RunConfig::flat(ByteSize::from_mib(budget_mib)).with_iterations(8),
         )
-        .execute(auto_hbwmalloc::RouterFactory::ddr().unwrap())
+        .execute(PlacementApproach::DdrOnly.router().unwrap())
         .unwrap();
         (outcome, ddr)
     }

@@ -8,7 +8,7 @@
 //! profiling run (step 1) and for the final, placement-honouring run (step 4)
 //! as well as for every baseline.
 
-use auto_hbwmalloc::{AllocationRouter, PlacementApproach};
+use auto_hbwmalloc::{AllocationRouter, ApproachKind};
 use hmsim_apps::{AllocTiming, AppSpec};
 use hmsim_callstack::{AslrLayout, ProgramImage, Translator, Unwinder};
 use hmsim_common::{Address, ByteSize, DetRng, HmResult, Nanos, ObjectId, TierId};
@@ -38,8 +38,9 @@ pub struct RunConfig {
     /// Attach the profiler and produce a trace.
     pub profile: Option<ProfilerConfig>,
     /// Knobs of the online migration runtime, used when the run executes
-    /// under [`PlacementApproach::Online`] (None = defaults). The analytic
-    /// runner treats one main-loop iteration as one epoch.
+    /// under [`auto_hbwmalloc::PlacementApproach::Online`] (None =
+    /// defaults). The analytic runner treats one main-loop iteration as one
+    /// epoch.
     pub online: Option<OnlineConfig>,
     /// How the node-level MCDRAM pool (`mcdram_capacity × ranks`) is
     /// arbitrated between ranks for online runs. The per-epoch migration
@@ -138,8 +139,9 @@ pub struct RunResult {
     pub migrations_rejected: u64,
     /// The trace, when profiling was attached.
     pub trace: Option<TraceFile>,
-    /// The placement approach that produced this result.
-    pub approach: String,
+    /// The placement approach that produced this result (typed; its
+    /// `Display` is the single source of the figure-legend names).
+    pub approach: ApproachKind,
 }
 
 /// The runner for one (application, approach) pair.
@@ -249,7 +251,7 @@ impl<'a> AppRun<'a> {
         // node's MCDRAM pool rather than taken as a fixed per-process
         // number; under the default static partition the arbiter hands back
         // exactly `mcdram_capacity` every epoch.
-        let mut online = (router.approach() == PlacementApproach::Online).then(|| {
+        let mut online = (router.kind() == ApproachKind::Online).then(|| {
             let cfg = self.config.online.clone().unwrap_or_default();
             let cost = MigrationCostModel::with_streams(machine, cfg.migration_streams);
             let ranks = spec.ranks.max(1);
@@ -570,13 +572,6 @@ impl<'a> AppRun<'a> {
             .unwrap_or(ByteSize::ZERO)
             .max(mcdram_migrated_peak);
 
-        let approach = match router.approach() {
-            PlacementApproach::CacheMode if machine.memory_mode != MemoryMode::Flat => {
-                "Cache".to_string()
-            }
-            other => other.to_string(),
-        };
-
         Ok(RunResult {
             fom,
             total_time,
@@ -590,7 +585,7 @@ impl<'a> AppRun<'a> {
             migrations,
             migrations_rejected,
             trace: profiler.map(|p| p.finish()),
-            approach,
+            approach: router.kind(),
         })
     }
 }
@@ -598,7 +593,7 @@ impl<'a> AppRun<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use auto_hbwmalloc::RouterFactory;
+    use auto_hbwmalloc::PlacementApproach;
     use hmsim_apps::app_by_name;
 
     #[test]
@@ -608,12 +603,14 @@ mod tests {
             &spec,
             RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10),
         );
-        let result = run.execute(RouterFactory::ddr().unwrap()).unwrap();
+        let result = run
+            .execute(PlacementApproach::DdrOnly.router().unwrap())
+            .unwrap();
         assert!(result.fom > 0.0);
         assert!(result.total_time > Nanos::ZERO);
         assert_eq!(result.mcdram_hwm, ByteSize::ZERO);
         assert!(result.counters.llc_misses > 0);
-        assert_eq!(result.approach, "DDR");
+        assert_eq!(result.approach, ApproachKind::Ddr);
         assert!(result.trace.is_none());
     }
 
@@ -622,10 +619,10 @@ mod tests {
         let spec = app_by_name("miniFE").unwrap();
         let cfg = RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10);
         let ddr = AppRun::new(&spec, cfg.clone())
-            .execute(RouterFactory::ddr().unwrap())
+            .execute(PlacementApproach::DdrOnly.router().unwrap())
             .unwrap();
         let numactl = AppRun::new(&spec, cfg)
-            .execute(RouterFactory::numactl().unwrap())
+            .execute(PlacementApproach::NumactlPreferred.router().unwrap())
             .unwrap();
         assert!(numactl.mcdram_hwm > ByteSize::ZERO);
         assert!(
@@ -643,10 +640,10 @@ mod tests {
             &spec,
             RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10),
         )
-        .execute(RouterFactory::ddr().unwrap())
+        .execute(PlacementApproach::DdrOnly.router().unwrap())
         .unwrap();
         let cache = AppRun::new(&spec, RunConfig::cache_mode().with_iterations(10))
-            .execute(RouterFactory::cache_mode().unwrap())
+            .execute(PlacementApproach::CacheMode.router().unwrap())
             .unwrap();
         assert!(
             cache.fom > ddr.fom,
@@ -654,7 +651,7 @@ mod tests {
             cache.fom,
             ddr.fom
         );
-        assert_eq!(cache.approach, "Cache");
+        assert_eq!(cache.approach, ApproachKind::Cache);
     }
 
     #[test]
@@ -664,7 +661,7 @@ mod tests {
             .with_iterations(5)
             .with_profiling(ProfilerConfig::default());
         let result = AppRun::new(&spec, cfg)
-            .execute(RouterFactory::ddr().unwrap())
+            .execute(PlacementApproach::DdrOnly.router().unwrap())
             .unwrap();
         let trace = result.trace.expect("trace present");
         assert!(trace.alloc_count() >= spec.dynamic_objects().count());
@@ -677,12 +674,12 @@ mod tests {
         let spec = app_by_name("miniFE").unwrap();
         let cfg = RunConfig::flat(ByteSize::from_mib(256)).with_iterations(10);
         let ddr = AppRun::new(&spec, cfg.clone())
-            .execute(RouterFactory::ddr().unwrap())
+            .execute(PlacementApproach::DdrOnly.router().unwrap())
             .unwrap();
         let online = AppRun::new(&spec, cfg)
-            .execute(RouterFactory::online().unwrap())
+            .execute(PlacementApproach::Online.router().unwrap())
             .unwrap();
-        assert_eq!(online.approach, "Online");
+        assert_eq!(online.approach, ApproachKind::Online);
         assert!(online.migrations > 0, "the hot objects must migrate");
         assert!(online.migration_time > Nanos::ZERO);
         assert!(
@@ -716,12 +713,12 @@ mod tests {
         let spec = app_by_name("miniFE").unwrap();
         let base = RunConfig::flat(ByteSize::from_mib(256)).with_iterations(8);
         let reference = AppRun::new(&spec, base.clone())
-            .execute(RouterFactory::online().unwrap())
+            .execute(PlacementApproach::Online.router().unwrap())
             .unwrap();
         assert!(reference.migrations > 0);
         for policy in hmsim_runtime::ArbiterPolicy::ALL {
             let run = AppRun::new(&spec, base.clone().with_rank_policy(policy))
-                .execute(RouterFactory::online().unwrap())
+                .execute(PlacementApproach::Online.router().unwrap())
                 .unwrap();
             assert_eq!(
                 run.fom.to_bits(),
@@ -740,7 +737,7 @@ mod tests {
             &spec,
             RunConfig::flat(ByteSize::from_mib(256)).with_iterations(3),
         )
-        .execute(RouterFactory::ddr().unwrap())
+        .execute(PlacementApproach::DdrOnly.router().unwrap())
         .unwrap();
         assert_eq!(result.kernel_times.len(), spec.kernels.len());
         assert!(result.kernel_times.iter().all(|(_, t)| *t > Nanos::ZERO));
@@ -753,13 +750,13 @@ mod tests {
             &spec,
             RunConfig::flat(ByteSize::from_mib(128)).with_iterations(5),
         )
-        .execute(RouterFactory::ddr().unwrap())
+        .execute(PlacementApproach::DdrOnly.router().unwrap())
         .unwrap();
         let long = AppRun::new(
             &spec,
             RunConfig::flat(ByteSize::from_mib(128)).with_iterations(20),
         )
-        .execute(RouterFactory::ddr().unwrap())
+        .execute(PlacementApproach::DdrOnly.router().unwrap())
         .unwrap();
         assert!(long.loop_time > short.loop_time * 2.0);
         let rel = (long.fom - short.fom).abs() / long.fom;

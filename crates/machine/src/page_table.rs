@@ -10,7 +10,7 @@
 //! Translation sits on the trace engine's LLC-miss path, so the naive
 //! `HashMap<Page, TierId>` (one SipHash per miss) was replaced by a two-level
 //! page index: the page number splits into a *chunk* (high bits) and a *slot*
-//! (low [`CHUNK_BITS`] bits). Chunks are dense `[u8; CHUNK_PAGES]` arrays —
+//! (low `CHUNK_BITS` bits). Chunks are dense `[u8; CHUNK_PAGES]` arrays —
 //! one byte per page, `0` meaning "fall back to the default tier" — reached
 //! through a chunk directory keyed by a multiply-shift hash (a few cycles,
 //! not SipHash). A lookup is therefore one cheap hash plus one array index;

@@ -8,7 +8,7 @@ use hmem_advisor::SelectionStrategy;
 /// `min_residency_epochs` forbids moving an object again right after it
 /// moved, and `heat_deadband` makes incumbents sticky — a challenger must be
 /// hotter than a fast-tier resident by that margin before it can displace it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OnlineConfig {
     /// Accesses simulated per epoch before the controller re-plans
     /// (trace-driven runtime only; the analytic path uses one application

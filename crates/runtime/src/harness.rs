@@ -67,7 +67,7 @@ pub fn provision(
 /// Outcome of one static (non-migrating) run.
 #[derive(Clone, Debug)]
 pub struct StaticOutcome {
-    /// Label of the placement ("DDR" or "profiled/<strategy>").
+    /// Label of the placement (`"DDR"` or `"profiled/<strategy>"`).
     pub label: String,
     /// Simulated execution time.
     pub time: Nanos,

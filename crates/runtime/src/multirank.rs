@@ -107,6 +107,9 @@ pub struct RankOutcome {
     pub engine: EngineStats,
     /// The shard runtime's statistics (epochs, migrations, bytes moved).
     pub stats: RuntimeStats,
+    /// Fast-tier bytes this rank's heap still held when its stream drained
+    /// (the residency the Scenario facade reports as the rank's footprint).
+    pub fast_residency: ByteSize,
 }
 
 /// Outcome of one multi-rank run.
@@ -231,6 +234,7 @@ impl MultiRankRuntime {
     pub fn run(mut self) -> MultiRankOutcome {
         while self.step() {}
         let policy = self.arbiter.policy();
+        let fast_tier = self.fast_tier;
         let per_rank = self
             .shards
             .into_iter()
@@ -240,6 +244,7 @@ impl MultiRankRuntime {
                 llc_misses: s.rt.engine_stats().counters.llc_misses,
                 engine: s.rt.engine_stats().clone(),
                 stats: s.rt.stats().clone(),
+                fast_residency: s.heap.tier_occupancy(fast_tier),
             })
             .collect();
         MultiRankOutcome {

@@ -6,8 +6,7 @@
 //! live-object registry, (3) re-runs the advisor's selection against the
 //! fast-tier budget, and (4) executes the migration delta through
 //! [`ProcessHeap::migrate_object`], charging every move through the
-//! [`MigrationCostModel`](crate::MigrationCostModel) and adding it to the
-//! run's latency.
+//! [`MigrationCostModel`] and adding it to the run's latency.
 
 use crate::controller::{EpochPlan, ObjectPlacement, PlacementController};
 use crate::cost::MigrationCostModel;
@@ -61,6 +60,10 @@ pub struct RuntimeStats {
     pub background_migrations: u64,
     /// Latency of the background moves (not part of the rank's time).
     pub background_migration_time: Nanos,
+    /// Peak fast-tier residency observed at commit boundaries (migrations
+    /// only happen there, so this is the exact high-water mark of a
+    /// trace-driven run whose heap sees no allocations mid-epoch).
+    pub fast_residency_peak: ByteSize,
     /// Per-epoch log (one entry per epoch; epochs are coarse, so this stays
     /// small even for paper-scale runs).
     pub epoch_log: Vec<EpochRecord>,
@@ -254,6 +257,10 @@ impl OnlineRuntime {
                 }
             }
         }
+        self.stats.fast_residency_peak = self
+            .stats
+            .fast_residency_peak
+            .max(heap.tier_occupancy(self.fast_tier));
     }
 
     /// Execute a migration plan and book the epoch into the statistics.
@@ -297,6 +304,10 @@ impl OnlineRuntime {
         self.stats.migrations += u64::from(record.promotions) + u64::from(record.demotions);
         self.stats.bytes_migrated += ByteSize::from_bytes(record.bytes_moved);
         self.stats.migration_time += record.migration_time;
+        self.stats.fast_residency_peak = self
+            .stats
+            .fast_residency_peak
+            .max(heap.tier_occupancy(self.fast_tier));
         self.stats.epoch_log.push(record);
     }
 }

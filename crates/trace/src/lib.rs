@@ -14,7 +14,7 @@
 //! Traces exist in three representations:
 //!
 //! * **In memory** as a [`TraceFile`] — convenient for tests and small runs.
-//! * **Text** (`.prv`-like, [`format`]): one record per line with
+//! * **Text** (`.prv`-like, [`mod@format`]): one record per line with
 //!   colon-separated, percent-escaped fields and a `#` header. Human-readable
 //!   interchange format.
 //! * **Binary** ([`binary`]): a compact chunked record format with a

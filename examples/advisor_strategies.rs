@@ -9,27 +9,32 @@
 use hmem_repro::advisor::{Advisor, MemorySpec, SelectionStrategy};
 use hmem_repro::analysis::analyze_trace;
 use hmem_repro::apps::app_by_name;
-use hmem_repro::autohbw::RouterFactory;
+use hmem_repro::autohbw::PlacementApproach;
 use hmem_repro::common::ByteSize;
-use hmem_repro::core::simrun::{AppRun, RunConfig};
+use hmem_repro::core::{Scenario, Simulation};
 use hmem_repro::profiler::ProfilerConfig;
 
 fn main() {
     let app_name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "SNAP".to_string());
-    let spec = app_by_name(&app_name).expect("known application");
+    let spec = app_by_name(&app_name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
 
-    // Profile once (DDR run with Extrae attached).
-    let run = AppRun::new(
-        &spec,
-        RunConfig::flat(ByteSize::from_mib(256))
-            .with_iterations(10)
-            .with_profiling(ProfilerConfig::default()),
+    // Profile once: a declarative DDR scenario with Extrae attached.
+    let scenario = Scenario::app(
+        spec.name,
+        PlacementApproach::DdrOnly,
+        ByteSize::from_mib(256),
     )
-    .execute(RouterFactory::ddr().unwrap())
-    .expect("profiling run succeeds");
-    let report = analyze_trace(run.trace.as_ref().unwrap());
+    .with_iterations(10)
+    .with_profiling(ProfilerConfig::default());
+    let outcome = Simulation::new()
+        .run(&scenario)
+        .expect("profiling run succeeds");
+    let report = analyze_trace(outcome.result().trace.as_ref().unwrap());
 
     println!(
         "Profile of {}: {} objects, {} sampled LLC misses\n",

@@ -6,6 +6,11 @@
 //! cargo run --release --example full_paper_eval            # quick settings
 //! cargo run --release --example full_paper_eval -- --full  # full iteration counts
 //! ```
+//!
+//! Every configuration of the Figure-4 grid is a declarative `Scenario`
+//! dispatched through the `Simulation` facade; to run a single configuration
+//! instead of the whole evaluation, write it as a `.scn` file and use
+//! `cargo run --release --example run_scenario -- <file>`.
 
 use hmem_repro::core::experiment::{run_full_evaluation, ExperimentConfig};
 use hmem_repro::core::figures;

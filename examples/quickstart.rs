@@ -1,5 +1,6 @@
 //! Quickstart: run the complete four-stage framework (profile → analyse →
-//! advise → re-run) for one application and print what each stage produced.
+//! advise → re-run) for one application through the `Simulation` facade and
+//! print what each stage produced.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -8,10 +9,9 @@
 
 use hmem_repro::advisor::SelectionStrategy;
 use hmem_repro::apps::app_by_name;
-use hmem_repro::autohbw::RouterFactory;
+use hmem_repro::autohbw::PlacementApproach;
 use hmem_repro::common::ByteSize;
-use hmem_repro::core::pipeline::FrameworkPipeline;
-use hmem_repro::core::simrun::{AppRun, RunConfig};
+use hmem_repro::core::{Scenario, Simulation};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,8 +21,10 @@ fn main() {
         .map(|s| ByteSize::parse(s).expect("budget like 128M"))
         .unwrap_or(ByteSize::from_mib(128));
 
-    let spec = app_by_name(app_name).unwrap_or_else(|| {
-        eprintln!("unknown application {app_name}; try HPCG, Lulesh, BT, miniFE, CGPOP, SNAP, MAXW-DGTD or GTC-P");
+    // The registry lookup is case-insensitive and the error already lists
+    // every known application, so it is printable as-is.
+    let spec = app_by_name(app_name).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(1);
     });
 
@@ -36,62 +38,69 @@ fn main() {
         spec.footprint().mib()
     );
 
-    // Reference run: everything in DDR.
-    let ddr = AppRun::new(&spec, RunConfig::flat(budget).with_iterations(10))
-        .execute(RouterFactory::ddr().unwrap())
-        .expect("DDR run succeeds");
+    let simulation = Simulation::new();
+
+    // Reference run: everything in DDR. One declarative scenario, one call.
+    let ddr_scenario =
+        Scenario::app(spec.name, PlacementApproach::DdrOnly, budget).with_iterations(10);
+    let ddr = simulation.run(&ddr_scenario).expect("DDR run succeeds");
     println!(
         "[reference] DDR-only FOM          : {:.2} {}",
-        ddr.fom, spec.fom_name
+        ddr.node.fom, spec.fom_name
     );
 
-    // The framework: profile, analyse, advise, re-run.
-    let pipeline = FrameworkPipeline::new(
-        budget,
-        SelectionStrategy::Misses {
+    // The framework: the same facade runs the whole profile → analyse →
+    // advise → re-run pipeline when the approach embeds a strategy.
+    let fw_scenario = Scenario::app(
+        spec.name,
+        PlacementApproach::framework(SelectionStrategy::Misses {
             threshold_percent: 0.0,
-        },
+        }),
+        budget,
     )
     .with_iterations(10);
-    let outcome = pipeline.run(&spec).expect("pipeline succeeds");
+    println!("(scenario file form:)\n{}", fw_scenario.serialize());
+    let outcome = simulation.run(&fw_scenario).expect("pipeline succeeds");
+    let stages = outcome.framework.as_ref().expect("pipeline artefacts");
 
     println!("[stage 1] profiling trace         : {} allocation events, {} PEBS samples ({:.2}% overhead)",
-        outcome.trace_summary.allocations,
-        outcome.trace_summary.samples,
-        outcome.profiling_overhead * 100.0);
+        stages.trace_summary.allocations,
+        stages.trace_summary.samples,
+        stages.profiling_overhead * 100.0);
     println!(
         "[stage 2] objects analysed        : {} ({} total sampled misses)",
-        outcome.object_report.objects.len(),
-        outcome.object_report.total_misses
+        stages.object_report.objects.len(),
+        stages.object_report.total_misses
     );
     println!("[stage 3] advisor selection       :");
-    for entry in outcome.placement.automatic_entries() {
+    for entry in stages.placement.automatic_entries() {
         println!(
             "            -> {} ({}, {} misses) to {}",
             entry.name, entry.size, entry.llc_misses, entry.tier_name
         );
     }
-    for entry in outcome.placement.manual_entries() {
+    for entry in stages.placement.manual_entries() {
         println!(
             "            (manual suggestion: {} is {} and cannot be promoted automatically)",
             entry.name, entry.size
         );
     }
+    let result = outcome.result();
     println!("[stage 4] re-run with auto-hbwmalloc:");
     println!(
         "            FOM                   : {:.2} {}",
-        outcome.result.fom, spec.fom_name
+        result.fom, spec.fom_name
     );
     println!(
         "            speedup vs DDR        : {:.2}x",
-        outcome.result.fom / ddr.fom
+        result.fom / ddr.node.fom
     );
     println!(
         "            MCDRAM HWM            : {:.1} MiB",
-        outcome.result.mcdram_hwm.mib()
+        result.mcdram_hwm.mib()
     );
     println!(
         "            interposition overhead: {}",
-        outcome.result.allocator_time
+        result.allocator_time
     );
 }

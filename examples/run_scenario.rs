@@ -1,0 +1,83 @@
+//! Load and execute declarative `.scn` scenario files through the
+//! [`Simulation`] facade — the one-command front door to every simulation
+//! path (analytic approaches, the four-stage framework pipeline, the online
+//! migration runtime and the multi-rank sharded runtime).
+//!
+//! ```bash
+//! cargo run --release --example run_scenario                         # every scenarios/*.scn
+//! cargo run --release --example run_scenario -- scenarios/minife-framework.scn
+//! ```
+//!
+//! Exits non-zero if any scenario fails to parse, validate or run, which is
+//! what makes this binary CI's scenario smoke check.
+
+use hmem_repro::core::{Outcome, Scenario, Simulation};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<std::path::PathBuf> = if args.is_empty() {
+        let dir = std::path::Path::new("scenarios");
+        let mut found: Vec<_> = match std::fs::read_dir(dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().map(|x| x == "scn").unwrap_or(false))
+                .collect(),
+            Err(e) => {
+                eprintln!("cannot list {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        };
+        found.sort();
+        found
+    } else {
+        args.iter().map(std::path::PathBuf::from).collect()
+    };
+    if paths.is_empty() {
+        eprintln!("no .scn files found");
+        std::process::exit(1);
+    }
+
+    let mut failures = 0usize;
+    for path in &paths {
+        match Scenario::load(path).and_then(|s| Simulation::new().run(&s)) {
+            Ok(outcome) => report(path, &outcome),
+            Err(e) => {
+                eprintln!("{}: FAILED: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures}/{} scenarios failed", paths.len());
+        std::process::exit(1);
+    }
+    println!("\nall {} scenarios ran", paths.len());
+}
+
+fn report(path: &std::path::Path, outcome: &Outcome) {
+    println!(
+        "{:<40} [{}] fom {:>12.2}  time {}  misses {}  migrations {}  mcdram {:.1} MiB  ranks {}",
+        format!("{} ({})", outcome.scenario, path.display()),
+        outcome.approach,
+        outcome.node.fom,
+        outcome.node.time,
+        outcome.node.llc_misses,
+        outcome.node.migrations,
+        outcome.node.mcdram_hwm.mib(),
+        outcome.per_rank.len(),
+    );
+    if let Some(fw) = &outcome.framework {
+        let selected: Vec<&str> = fw
+            .placement
+            .automatic_entries()
+            .map(|e| e.name.as_str())
+            .collect();
+        println!(
+            "{:<40}   pipeline: {} samples -> advisor selected {}",
+            "",
+            fw.trace_summary.samples,
+            selected.join(", ")
+        );
+    }
+}

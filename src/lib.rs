@@ -19,9 +19,13 @@
 //! * [`runtime`] — the online placement runtime (epoch-driven PEBS-guided
 //!   object migration);
 //! * [`core`] — the end-to-end pipeline, the experiment grid and the
-//!   figure/table generators.
+//!   figure/table generators — plus the scenario layer: declarative,
+//!   serializable [`core::Scenario`] sessions (`.scn` files under
+//!   `scenarios/`) dispatched through the [`core::Simulation`] facade to
+//!   whichever execution engine the scenario selects.
 //!
-//! See `examples/quickstart.rs` for the 30-second tour.
+//! See `examples/quickstart.rs` for the 30-second tour and
+//! `examples/run_scenario.rs` for the scenario-file front door.
 
 #![warn(missing_docs)]
 

@@ -4,7 +4,7 @@
 //! human-readable placement report — i.e. the hand-off files between the
 //! four stages of Figure 2, round-tripped through their serialised forms.
 
-use auto_hbwmalloc::{AllocationRouter, AutoHbwMalloc, RouterFactory};
+use auto_hbwmalloc::{AllocationRouter, AutoHbwMalloc, PlacementApproach};
 use hmem_advisor::{Advisor, MemorySpec, PlacementReport, SelectionStrategy};
 use hmem_core::simrun::{AppRun, RunConfig};
 use hmsim_analysis::{analyze_trace, csv};
@@ -26,7 +26,7 @@ fn the_four_stage_hand_off_survives_serialisation_between_every_stage() {
             .with_iterations(6)
             .with_profiling(ProfilerConfig::default()),
     )
-    .execute(RouterFactory::ddr().unwrap())
+    .execute(PlacementApproach::DdrOnly.router().unwrap())
     .unwrap();
     let trace = profiled.trace.unwrap();
     let trace_text = trace_format::write_text(&trace);
@@ -72,7 +72,7 @@ fn the_four_stage_hand_off_survives_serialisation_between_every_stage() {
         .execute(AllocationRouter::framework(library))
         .unwrap();
     let ddr = AppRun::new(&spec, RunConfig::flat(budget).with_iterations(6))
-        .execute(RouterFactory::ddr().unwrap())
+        .execute(PlacementApproach::DdrOnly.router().unwrap())
         .unwrap();
     assert!(rerun.mcdram_hwm > ByteSize::ZERO);
     assert!(
@@ -96,7 +96,7 @@ fn profiling_is_cheap_and_sample_counts_match_table_one_scale() {
                 .with_iterations(6)
                 .with_profiling(ProfilerConfig::default()),
         )
-        .execute(RouterFactory::ddr().unwrap())
+        .execute(PlacementApproach::DdrOnly.router().unwrap())
         .unwrap();
         let trace = run.trace.unwrap();
         assert!(
@@ -125,7 +125,7 @@ fn advisor_reports_are_actionable_for_static_heavy_codes() {
             .with_iterations(6)
             .with_profiling(ProfilerConfig::default()),
     )
-    .execute(RouterFactory::ddr().unwrap())
+    .execute(PlacementApproach::DdrOnly.router().unwrap())
     .unwrap();
     let report = analyze_trace(profiled.trace.as_ref().unwrap());
     let placement = Advisor::new()
